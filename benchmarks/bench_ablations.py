@@ -1,0 +1,85 @@
+"""Ablations over the implementation's design choices (DESIGN.md §8).
+
+Each test regenerates one ablation table and asserts the structural
+result the paper's argument predicts.
+"""
+
+from conftest import report
+
+from repro.analysis import (
+    false_sharing_table,
+    hw_vs_sw_prefetch_table,
+    lookahead_window_table,
+    prefetch_bandwidth_table,
+    protocol_table,
+    rob_size_table,
+    slb_size_table,
+)
+
+
+def test_lookahead_window(benchmark):
+    table = benchmark(lookahead_window_table)
+    report(table)
+    cycles = table.column_values("cycles")
+    assert cycles == sorted(cycles, reverse=True), \
+        "a larger window can only help"
+    assert cycles[0] > 1.5 * cycles[-1], "window starvation must be visible"
+
+
+def test_hw_vs_sw_prefetch(benchmark):
+    table = benchmark(hw_vs_sw_prefetch_table)
+    report(table)
+    rows = {row[0]: row for row in table.rows}
+    none_, hw_small = rows["no prefetch"][1], rows["hardware, window=3"][1]
+    hw_big = rows["hardware, window=32"][1]
+    sw_small = rows["software, window=3"][1]
+    # both forms beat no prefetch handily
+    assert hw_small < none_ / 2 and sw_small < none_ / 2
+    # Section 6: software's unlimited window beats a starved hardware
+    # window; a big hardware window wins back the instruction overhead
+    assert sw_small < hw_small
+    assert hw_big <= sw_small
+    # software prefetch costs instruction slots
+    assert rows["software, window=3"][2] > rows["no prefetch"][2]
+
+
+def test_slb_size(benchmark):
+    table = benchmark(slb_size_table)
+    report(table)
+    cycles = table.column_values("cycles")
+    assert cycles == sorted(cycles, reverse=True)
+    assert cycles[0] > 1.5 * cycles[-1]
+
+
+def test_rob_size(benchmark):
+    table = benchmark(rob_size_table)
+    report(table)
+    cycles = table.column_values("cycles")
+    assert cycles == sorted(cycles, reverse=True)
+
+
+def test_prefetch_bandwidth(benchmark):
+    table = benchmark(prefetch_bandwidth_table)
+    report(table)
+    cycles = table.column_values("cycles")
+    # prefetches fire during stall cycles, so 1/cycle already saturates
+    assert max(cycles) - min(cycles) <= 5
+
+
+def test_false_sharing_ablation(benchmark):
+    table = benchmark(false_sharing_table)
+    report(table)
+    rows = {row[0]: row for row in table.rows}
+    packed = rows["packed (one line)"]
+    padded = rows["padded (own lines)"]
+    assert packed[3] == padded[3] == "yes"   # correctness is never traded
+    assert packed[1] > padded[1]             # but packed pays cycles
+    assert packed[2] >= padded[2]            # via conservative squashes
+
+
+def test_protocol_ablation(benchmark):
+    table = benchmark(protocol_table)
+    report(table)
+    rows = {row[0]: row for row in table.rows}
+    assert rows["invalidate"][3] > 3.0      # big win with invalidations
+    assert rows["update"][3] < 1.2          # no win without them

@@ -1,0 +1,34 @@
+"""E5 — Section 5's headline claim: the techniques equalize the models.
+
+Analytical sweep over diverse segments plus a detailed-simulator
+critical-section run; asserts the SC/RC gap collapses toward 1.0 once
+both techniques are enabled.
+"""
+
+from conftest import report
+
+from repro.analysis import detailed_equalization_table, equalization_table
+
+
+def test_equalization_analytical(benchmark):
+    table = benchmark(equalization_table)
+    report(table)
+    for row in table.rows:
+        workload, sc_base, rc_base, gap, sc_both, rc_both, gap_after = row
+        assert gap >= gap_after - 1e-9, workload  # the gap never widens
+        assert gap_after <= 1.1, (workload, gap_after)  # near-equalized
+        # and the techniques never slow anything down
+        assert sc_both <= sc_base and rc_both <= rc_base
+
+
+def test_equalization_detailed(benchmark):
+    table = benchmark(detailed_equalization_table)
+    report(table)
+    both = {row[0]: row[2] for row in table.rows}
+    base = {row[0]: row[1] for row in table.rows}
+    # baseline spread is significant; post-technique spread is small
+    assert max(base.values()) / min(base.values()) > 1.2
+    assert max(both.values()) / min(both.values()) < 1.15
+    # and every model got faster
+    for model in both:
+        assert both[model] < base[model]

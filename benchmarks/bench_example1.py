@@ -1,0 +1,44 @@
+"""E2 — Example 1 (Section 3.3): producer critical section.
+
+Paper's numbers: SC 301, RC 202 baseline; 103 for both with prefetch.
+The analytical model must match exactly; the detailed simulator must
+match the shape (same winners, same ~3x factor, models equalized).
+"""
+
+from conftest import report
+
+from repro.analysis import example_cycle_table
+from repro.consistency import RC, SC
+from repro.core import AnalyticalTimingModel
+from repro.workloads import PAPER_CYCLE_COUNTS, example1_segment
+
+
+def test_example1_analytical_exact(benchmark):
+    engine = AnalyticalTimingModel()
+    segment = example1_segment()
+
+    def run_all():
+        return {
+            (m.name, pf): engine.schedule(segment, m, prefetch=pf).total_cycles
+            for m in (SC, RC) for pf in (False, True)
+        }
+
+    totals = benchmark(run_all)
+    report(example_cycle_table("example1"))
+    assert totals[("SC", False)] == PAPER_CYCLE_COUNTS[("example1", "SC", "baseline")] == 301
+    assert totals[("RC", False)] == PAPER_CYCLE_COUNTS[("example1", "RC", "baseline")] == 202
+    assert totals[("SC", True)] == PAPER_CYCLE_COUNTS[("example1", "SC", "prefetch")] == 103
+    assert totals[("RC", True)] == PAPER_CYCLE_COUNTS[("example1", "RC", "prefetch")] == 103
+
+
+def test_example1_detailed_shape(benchmark):
+    table = benchmark(example_cycle_table, "example1", True)
+    report(table)
+    rows = {row[0]: row for row in table.rows}
+    sc_base, sc_pf = rows["SC"][1], rows["SC"][2]
+    rc_base, rc_pf = rows["RC"][1], rows["RC"][2]
+    # shape: baseline SC ~1.5x RC; prefetch gives ~3x on SC and
+    # equalizes the two models to within a few pipeline cycles
+    assert 1.3 <= sc_base / rc_base <= 1.7
+    assert sc_base / sc_pf > 2.5
+    assert abs(sc_pf - rc_pf) <= 5

@@ -1,0 +1,70 @@
+"""E3 — Example 2 (Sections 3.3/4.1): consumer critical section.
+
+Paper's numbers: SC 302 / RC 203 baseline; 203 / 202 with prefetch
+(prefetching fails on the dependent read E[D]); 104 / 104 with
+speculative loads.  Analytical model must match exactly; detailed
+simulator must match the shape.
+"""
+
+from conftest import report
+
+from repro.analysis import example_cycle_table
+from repro.consistency import RC, SC
+from repro.core import AnalyticalTimingModel
+from repro.workloads import PAPER_CYCLE_COUNTS, example2_segment
+
+
+def test_example2_analytical_exact(benchmark):
+    engine = AnalyticalTimingModel()
+    segment = example2_segment()
+
+    def run_all():
+        out = {}
+        for model in (SC, RC):
+            for tech, (pf, sp) in {
+                "baseline": (False, False),
+                "prefetch": (True, False),
+                "prefetch+speculation": (True, True),
+            }.items():
+                res = engine.schedule(segment, model, prefetch=pf, speculation=sp)
+                out[(model.name, tech)] = res.total_cycles
+        return out
+
+    totals = benchmark(run_all)
+    report(example_cycle_table("example2"))
+    for key, expected in {
+        ("SC", "baseline"): 302, ("RC", "baseline"): 203,
+        ("SC", "prefetch"): 203, ("RC", "prefetch"): 202,
+        ("SC", "prefetch+speculation"): 104, ("RC", "prefetch+speculation"): 104,
+    }.items():
+        assert totals[key] == expected, key
+
+
+def test_example2_detailed_shape(benchmark):
+    table = benchmark(example_cycle_table, "example2", True)
+    report(table)
+    rows = {row[0]: row for row in table.rows}
+    sc = dict(zip(table.columns, rows["SC"]))
+    rc = dict(zip(table.columns, rows["RC"]))
+    # prefetch alone only removes ~1 miss under SC (dependent E[D]
+    # still serialized); speculation removes ~2 more
+    assert sc["baseline"] / sc["prefetch"] < 1.7
+    assert sc["baseline"] / sc["prefetch+speculation"] > 2.5
+    # speculation equalizes SC and RC
+    assert abs(sc["prefetch+speculation"] - rc["prefetch+speculation"]) <= 5
+
+
+def test_example2_prefetch_fails_on_dependent_load(benchmark):
+    """The paper's key negative result: prefetching cannot help when
+    out-of-order consumption of return values is needed."""
+    engine = AnalyticalTimingModel()
+    segment = example2_segment()
+
+    def schedule():
+        return engine.schedule(segment, SC, prefetch=True)
+
+    res = benchmark(schedule)
+    e_timing = res.timing("read E[D]")
+    d_timing = res.timing("read D")
+    assert e_timing.issue > d_timing.complete          # stays serialized
+    assert res.total_cycles >= 2 * 100                 # ~two misses exposed

@@ -1,0 +1,41 @@
+"""E1 — Figure 1: ordering restrictions of SC/PC/WC/RC.
+
+Regenerates the delay-arc semantics as litmus outcome sets and checks
+the relaxation hierarchy the figure depicts.
+"""
+
+from conftest import report
+
+from repro.analysis import litmus_outcome_table
+from repro.consistency import ALL_MODELS, PC, RC, SC, WC, store_buffering
+
+
+def test_figure1_litmus_matrix(benchmark):
+    table = benchmark(litmus_outcome_table)
+    report(table)
+
+    def column(model_name):
+        return table.column_values(model_name)
+
+    # SC forbids everything; RC allows all unlabelled relaxations
+    assert all(v == "forbidden" for v in column("SC"))
+    sb, mp, mp_sync, lb, coh = range(5)
+    assert table.cell(sb, "PC") == "allowed"        # W->R relaxed
+    assert table.cell(mp, "PC") == "forbidden"      # W->W, R->R kept
+    assert table.cell(mp, "RC") == "allowed"
+    assert table.cell(lb, "WC") == "allowed"
+    # properly-labelled sync and per-location coherence hold everywhere
+    for model in ALL_MODELS:
+        assert table.cell(mp_sync, model.name) == "forbidden"
+        assert table.cell(coh, model.name) == "forbidden"
+
+
+def test_figure1_outcome_sets_grow_monotonically(benchmark):
+    test = store_buffering()
+
+    def outcome_counts():
+        return {m.name: len(test.outcomes(m)) for m in (SC, PC, WC, RC)}
+
+    counts = benchmark(outcome_counts)
+    assert counts["SC"] <= counts["PC"] <= counts["WC"] <= counts["RC"]
+    assert counts["SC"] < counts["RC"]  # the relaxation is real

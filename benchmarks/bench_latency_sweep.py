@@ -1,0 +1,37 @@
+"""E6 — miss-latency sensitivity.
+
+The techniques hide exactly the latency the consistency model exposes,
+so their speedup must grow (and saturate) with miss latency, and the
+equalized SC/RC totals must track each other across the whole sweep.
+"""
+
+from conftest import report
+
+from repro.analysis import latency_sweep_table
+from repro.workloads import example1_segment
+
+
+def test_latency_sweep_example2(benchmark):
+    table = benchmark(latency_sweep_table)
+    report(table)
+    speedups = table.column_values("SC speedup")
+    assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:])), \
+        "speedup must be monotonically non-decreasing in miss latency"
+    assert speedups[-1] > 2.5
+    for row in table.rows:
+        _, sc_base, rc_base, sc_both, rc_both, _ = row
+        assert sc_both == rc_both  # equalized at every latency point
+
+
+def test_latency_sweep_example1(benchmark):
+    table = benchmark(
+        latency_sweep_table, (20, 50, 100, 200, 400),
+        example1_segment(), "example1",
+    )
+    report(table)
+    for row in table.rows:
+        lat, sc_base, rc_base, sc_both, rc_both, speedup = row
+        # baseline SC serializes 3 misses; with both techniques only
+        # the lock's miss remains exposed
+        assert sc_base >= 3 * lat
+        assert sc_both <= lat + 10

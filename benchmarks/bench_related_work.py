@@ -1,0 +1,50 @@
+"""E8 — Section 6's comparison against competing schemes.
+
+Checks the qualitative claims: binding prefetch gains nothing over the
+conventional implementation; Adve–Hill helps writes only slightly and
+reads not at all; Stenström's cache-less NST wins only when caches
+would not have helped anyway; the paper's techniques dominate.
+"""
+
+from conftest import report
+
+from repro.analysis import related_work_table
+from repro.baselines import compare_schemes
+from repro.workloads import example1_segment, example2_segment
+
+
+def test_related_work_table(benchmark):
+    table = benchmark(related_work_table)
+    report(table)
+    rows = {row[0]: dict(zip(table.columns, row)) for row in table.rows}
+
+    conv, ours = rows["conventional"], rows["prefetch+speculation"]
+    binding = rows["binding-prefetch"]
+    adve = rows["adve-hill-sc"]
+    nst = rows["stenstrom-nst"]
+
+    # "binding prefetching is quite limited": identical to conventional
+    for col in ("example1", "example2", "pointer-chase"):
+        assert binding[col] == conv[col]
+
+    # Adve-Hill: write-side gain only, and small
+    assert adve["example1"] < conv["example1"]
+    assert conv["example1"] - adve["example1"] <= 30
+    assert adve["example2"] == conv["example2"]   # reads unaffected
+
+    # Stenström: competitive when everything misses, catastrophic when
+    # caches matter (the dependent chain of hits)
+    assert nst["cached chase"] > 50 * ours["cached chase"]
+
+    # our techniques dominate every scheme on the paper's examples
+    for col in ("example1", "example2"):
+        for scheme, row in rows.items():
+            assert ours[col] <= row[col], (scheme, col)
+
+
+def test_scheme_comparison_is_deterministic(benchmark):
+    segment = example2_segment()
+    results = benchmark(compare_schemes, segment)
+    again = compare_schemes(segment)
+    assert [(r.scheme, r.total_cycles) for r in results] == \
+           [(r.scheme, r.total_cycles) for r in again]

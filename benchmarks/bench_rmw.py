@@ -1,0 +1,48 @@
+"""E9 — Appendix A: atomic read-modify-writes under speculation.
+
+A contended test&set lock hand-off between two CPUs: the speculative
+read-exclusive must accelerate lock acquisition without ever breaking
+mutual exclusion.
+"""
+
+from conftest import report
+
+from repro.analysis import rmw_handoff_table
+from repro.consistency import RC, SC
+from repro.system import run_workload
+from repro.workloads import critical_section_workload
+
+
+def test_rmw_handoff(benchmark):
+    table = benchmark(rmw_handoff_table)
+    report(table)
+    # the load-bearing claim under contention is *correctness*: mutual
+    # exclusion must survive speculative RMWs and their rollbacks.
+    # (Performance under a heavily contended test&set lock is the case
+    # the paper flags as the technique's limit — invalidation
+    # probability is high — so no speedup is asserted here; see
+    # test_rmw_uncontended_latency for Appendix A's fast path.)
+    assert all(row[3] == "yes" for row in table.rows), \
+        "mutual exclusion must hold in every configuration"
+    cycles = {(row[0], row[1]): row[2] for row in table.rows}
+    for model in ("SC", "RC"):
+        base = cycles[(model, "baseline")]
+        both = cycles[(model, "prefetch+speculation")]
+        assert both < base * 1.5, "rollback overhead must stay bounded"
+
+
+def test_rmw_uncontended_latency(benchmark):
+    """Appendix A's fast path: the speculative read-exclusive makes the
+    eventual atomic a cache hit."""
+
+    def run(spec):
+        wl = critical_section_workload(num_cpus=1, iterations=2,
+                                       shared_counters=1, private=True)
+        return run_workload(wl.programs, model=SC, prefetch=spec,
+                            speculation=spec,
+                            initial_memory=wl.initial_memory,
+                            max_cycles=1_000_000).cycles
+
+    base = run(False)
+    fast = benchmark(run, True)
+    assert fast < base

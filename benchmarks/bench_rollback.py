@@ -1,0 +1,34 @@
+"""E7 — the cost of mis-speculation.
+
+A rollback throws away work, but the paper argues the common case pays
+for it.  The bench measures the Figure 5 scenario with invalidations at
+different points and checks that even the worst case stays ahead of the
+conventional implementation.
+"""
+
+from conftest import report
+
+from repro.analysis import rollback_cost_table
+
+
+def test_rollback_cost(benchmark):
+    table = benchmark(rollback_cost_table)
+    report(table)
+    rows = {row[0]: row for row in table.rows}
+    base = rows["conventional (no techniques)"][1]
+    clean = rows["both techniques, no interference"][1]
+    assert base / clean > 3.0  # the clean speculative run is ~4x
+    for name, row in rows.items():
+        if name.startswith("both techniques, inval"):
+            cycles = row[1]
+            assert cycles < base, f"{name}: rollback worse than baseline"
+            assert cycles > clean, f"{name}: rollback should cost something"
+
+
+def test_rollback_squash_counted(benchmark):
+    from repro.workloads import run_figure5
+
+    result = benchmark(run_figure5, 5)
+    stats = result.machine.sim.stats
+    assert stats.counter("cpu0/slb/squashes").value == 1
+    assert stats.counter("cpu0/instructions_squashed").value >= 2  # ld D, ld E[D]

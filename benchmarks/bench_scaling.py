@@ -1,0 +1,27 @@
+"""Scaling studies: the techniques at growing processor counts."""
+
+from conftest import report
+
+from repro.analysis import barrier_scaling_table, cpu_scaling_table
+
+
+def test_cpu_scaling(benchmark):
+    table = benchmark(cpu_scaling_table)
+    report(table)
+    assert all(row[4] == "yes" for row in table.rows)
+    for row in table.rows:
+        assert row[3] > 2.0, "the techniques' speedup must persist at scale"
+    # per-CPU work is constant and private: adding CPUs must not blow
+    # up the runtime (allow modest interconnect-sharing noise)
+    cycles_both = table.column_values("both techniques")
+    assert max(cycles_both) < 2 * min(cycles_both)
+
+
+def test_barrier_scaling(benchmark):
+    table = benchmark(barrier_scaling_table)
+    report(table)
+    assert all(row[4] == "yes" for row in table.rows)
+    for row in table.rows:
+        n, sc_base, sc_both, rc_both, _ = row
+        assert sc_both < sc_base            # techniques help through barriers
+        assert sc_both < 1.5 * rc_both      # and keep SC near RC

@@ -1,0 +1,67 @@
+"""Simulator throughput: how fast the stack itself runs.
+
+Not a paper experiment — an engineering benchmark tracking the
+simulator's own performance (simulated cycles and retired instructions
+per wall-second) so regressions in the hot paths show up.
+"""
+
+import pytest
+
+from repro.consistency import RC, SC
+from repro.core import AnalyticalTimingModel
+from repro.system import run_workload
+from repro.workloads import critical_section_workload, random_segment
+
+
+def test_detailed_simulator_throughput(benchmark):
+    wl = critical_section_workload(num_cpus=2, iterations=3,
+                                   shared_counters=3, private=True)
+
+    def run():
+        return run_workload(wl.programs, model=RC, prefetch=True,
+                            speculation=True,
+                            initial_memory=wl.initial_memory,
+                            max_cycles=2_000_000)
+
+    result = benchmark(run)
+    # sanity: the run actually simulates a nontrivial machine
+    assert result.cycles > 100
+    retired = sum(result.counter(f"cpu{c}/instructions_retired")
+                  for c in range(2))
+    assert retired > 50
+
+
+def test_analytical_model_throughput(benchmark):
+    engine = AnalyticalTimingModel()
+    segment = random_segment(length=60, sync_period=8, rng=3)
+
+    def run():
+        return engine.schedule(segment, SC, prefetch=True,
+                               speculation=True).total_cycles
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_memory_system_throughput(benchmark):
+    """Raw coherence traffic: ping-pong a line between two caches."""
+    from repro.memory import AccessKind, AccessRequest
+    from repro.sim import Simulator
+    from repro.system.fabric import MemoryFabric
+
+    def run():
+        sim = Simulator()
+        fabric = MemoryFabric(sim, num_cpus=2)
+        done = []
+        for i in range(40):
+            req = AccessRequest(req_id=i + 1, kind=AccessKind.STORE,
+                                addr=0x40, value=i,
+                                callback=lambda r, v: done.append(r.req_id))
+            cpu = i % 2
+            assert fabric.caches[cpu].access(req)
+            sim.run(until=lambda i=i: len(done) > i, max_cycles=100_000,
+                    deadlock_check=False)
+        return sim.cycle
+
+    cycles = benchmark(run)
+    assert cycles > 40

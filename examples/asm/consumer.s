@@ -1,0 +1,6 @@
+# Consumer half: acquire-spin on the flag, then read the data.
+spin:
+    ld.acq r2, 0x80            # poll the flag
+    beqz   r2, spin !taken     # predicted to exit the spin
+    ld     r5, 0x40            # must observe 42
+    halt

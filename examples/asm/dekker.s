@@ -1,0 +1,10 @@
+# One side of the store-buffering (Dekker) litmus test.
+# Run two copies against each other with mirrored addresses:
+#   python -m repro.run examples/asm/dekker.s examples/asm/dekker_mirror.s \
+#       --model SC --regs r1
+# Under SC at least one side must read 1.
+
+    movi r2, 1
+    st   r2, 0x100             # my flag
+    ld   r1, 0x110             # the other side's flag
+    halt

@@ -1,0 +1,5 @@
+# The mirrored side of dekker.s (see that file for usage).
+    movi r2, 1
+    st   r2, 0x110
+    ld   r1, 0x100
+    halt

@@ -1,0 +1,15 @@
+# The paper's Example 1 (Section 3.3): a producer critical section.
+#   lock L; write A; write B; unlock L
+# Addresses: L=0x10, A=0x20, B=0x30 (distinct cache lines).
+#
+# Try:
+#   python -m repro.run examples/asm/example1.s --model SC
+#   python -m repro.run examples/asm/example1.s --model SC --prefetch
+#   python -m repro.run examples/asm/example1.s --model RC --prefetch --summary
+
+    rmw.ts r31, 0x10, acq      # lock L (assumed free, as in the paper)
+    movi   r1, 1
+    st     r1, 0x20            # write A
+    st     r1, 0x30            # write B
+    st.rel r0, 0x10            # unlock L
+    halt

@@ -1,0 +1,9 @@
+# Producer half of a message-passing pair: write data, release a flag.
+# Run together with consumer.s:
+#   python -m repro.run examples/asm/producer.s examples/asm/consumer.s \
+#       --model RC --prefetch --speculation --regs r5 --watch 0x40
+
+    movi   r1, 42
+    st     r1, 0x40            # the data
+    st.rel r1, 0x80            # the flag (release)
+    halt

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Contended critical sections: the equalization claim, end to end.
+
+Two processors repeatedly acquire a real test&set spin lock, increment
+shared counters, and release.  This exercises everything at once:
+contended RMWs (Appendix A), speculative loads squashed by real
+invalidations, exclusive prefetch of the critical section's write set,
+and the consistency models' store rules.
+
+The headline result is the paper's Section 5 claim: with both
+techniques enabled, the performance of all four consistency models
+converges — while mutual exclusion (the counters' final values) holds
+in every configuration.
+
+Run:  python examples/critical_section_study.py
+"""
+
+from repro import PC, RC, SC, WC, run_workload
+from repro.analysis import Table, bar_chart
+from repro.workloads import critical_section_workload
+
+
+def run_config(model, prefetch, speculation, private, iterations=3):
+    workload = critical_section_workload(num_cpus=2, iterations=iterations,
+                                         shared_counters=2, private=private)
+    result = run_workload(
+        workload.programs,
+        model=model,
+        prefetch=prefetch,
+        speculation=speculation,
+        initial_memory=workload.initial_memory,
+        max_cycles=5_000_000,
+    )
+    ok = all(result.machine.read_word(addr) == expected
+             for addr, expected in workload.expectations)
+    return result, ok
+
+
+def study(private: bool) -> None:
+    kind = "private locks (no contention)" if private else "one shared lock (contended)"
+    table = Table(
+        f"2 CPUs x 3 iterations x 2 counters — {kind}",
+        ["model", "baseline", "both techniques", "speedup", "correct"],
+    )
+    base_cycles = {}
+    both_cycles = {}
+    for model in (SC, PC, WC, RC):
+        base, ok_base = run_config(model, False, False, private)
+        both, ok_both = run_config(model, True, True, private)
+        base_cycles[model.name] = base.cycles
+        both_cycles[model.name] = both.cycles
+        table.add_row(model.name, base.cycles, both.cycles,
+                      round(base.cycles / both.cycles, 2),
+                      "yes" if (ok_base and ok_both) else "NO")
+    print(table.render())
+    print()
+    print(bar_chart("cycles, prefetch+speculation", both_cycles, unit=" cycles"))
+    spread_base = max(base_cycles.values()) / min(base_cycles.values())
+    spread_both = max(both_cycles.values()) / min(both_cycles.values())
+    print(f"model spread (max/min): baseline {spread_base:.2f}x -> "
+          f"with techniques {spread_both:.2f}x")
+    print()
+
+
+def main() -> None:
+    study(private=True)
+    study(private=False)
+    print("Reading the two studies together (paper, Section 5):")
+    print(" * without contention the techniques equalize the models almost")
+    print("   perfectly — SC runs at RC speed;")
+    print(" * under heavy lock contention prefetched/speculated lines get")
+    print("   invalidated before use, which is precisely the case the paper")
+    print("   identifies as the limit of the techniques (\"the probability")
+    print("   that a prefetched or speculated value is invalidated must be")
+    print("   small\").")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Litmus explorer: Figure 1's ordering rules, executed exhaustively.
+
+For each classic litmus test, enumerates every outcome each consistency
+model admits (via the exhaustive interleaving checker) and prints the
+outcome sets side by side.  This makes the SC ⊂ PC ⊂ WC ⊂ RC
+relaxation hierarchy — Figure 1's content — directly visible.
+
+Run:  python examples/litmus_explorer.py
+"""
+
+from repro import ALL_MODELS
+from repro.analysis import Table
+from repro.consistency import (
+    coherence_per_location,
+    load_buffering,
+    message_passing,
+    message_passing_sync,
+    store_buffering,
+)
+
+TESTS = [
+    store_buffering(),
+    message_passing(),
+    message_passing_sync(),
+    load_buffering(),
+    coherence_per_location(),
+]
+
+
+def format_outcome(outcome) -> str:
+    return "{" + ", ".join(f"{reg}={val}" for reg, val in outcome) + "}"
+
+
+def main() -> None:
+    from repro.analysis import delay_arc_matrix
+
+    print("## Figure 1: the delay-arc matrices\n")
+    for model in ALL_MODELS:
+        print(delay_arc_matrix(model).render())
+        print()
+
+    print("## Litmus outcome sets\n")
+    for test in TESTS:
+        print(f"### {test.name}")
+        for tid, thread in enumerate(test.threads):
+            ops = "; ".join(op.describe() for op in thread)
+            print(f"  T{tid}: {ops}")
+        table = Table("outcome sets", ["model", "#outcomes", "outcomes"])
+        sc_outcomes = test.outcomes(ALL_MODELS[0])
+        for model in ALL_MODELS:
+            outcomes = test.outcomes(model)
+            extra = outcomes - sc_outcomes
+            rendered = ", ".join(sorted(format_outcome(o) for o in outcomes))
+            marker = f"  (+{len(extra)} beyond SC)" if extra else ""
+            table.add_row(model.name, len(outcomes), rendered + marker)
+        print(table.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

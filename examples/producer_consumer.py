@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Producer/consumer hand-off: correctness and performance together.
+
+A producer writes a batch of values and releases a flag; a consumer
+spins on the flag (acquire), then reads, transforms, and republishes
+the data.  This is the communication idiom the paper's Examples 1 and 2
+abstract.  The script shows:
+
+1. the hand-off is *correct* under every model/technique combination
+   (the release/acquire labelling makes the program data-race-free);
+2. speculative loads let even sequential consistency overlap the
+   consumer's reads with the acquire spin.
+
+Run:  python examples/producer_consumer.py
+"""
+
+from repro import PC, RC, SC, WC, run_workload
+from repro.analysis import Table
+from repro.workloads import producer_consumer_workload
+
+
+def main() -> None:
+    table = Table(
+        "Producer -> consumer -> consumer chain (3 values, +1 per stage)",
+        ["model", "technique", "cycles", "values delivered", "correct"],
+    )
+    for model in (SC, PC, WC, RC):
+        for technique, (prefetch, speculation) in {
+            "baseline": (False, False),
+            "prefetch+speculation": (True, True),
+        }.items():
+            workload = producer_consumer_workload(values=(7, 11, 13), chain=3)
+            result = run_workload(
+                workload.programs,
+                model=model,
+                prefetch=prefetch,
+                speculation=speculation,
+                initial_memory=workload.initial_memory,
+                max_cycles=2_000_000,
+            )
+            delivered = [result.machine.read_word(addr)
+                         for addr, _ in workload.expectations]
+            expected = [value for _, value in workload.expectations]
+            table.add_row(model.name, technique, result.cycles,
+                          str(delivered), "yes" if delivered == expected else "NO")
+    print(table.render())
+    print()
+    print("Every row must say 'yes': acquire/release labelling keeps the")
+    print("hand-off sequentially consistent even under RC with speculation")
+    print("(the speculative-load buffer squashes any load that observed a")
+    print("value the producer later overwrote).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's two techniques on its own Example 1.
+
+Builds the producer critical section from Figure 2 (lock; write A;
+write B; unlock), runs it on the detailed multiprocessor simulator
+under SC and RC with each technique combination, and prints the cycle
+counts next to the paper's arithmetic (301/202 baseline, 103 with
+prefetching).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import RC, SC, run_workload
+from repro.analysis import Table
+from repro.workloads import PAPER_CYCLE_COUNTS, example1_program
+
+
+def main() -> None:
+    table = Table(
+        "Example 1: lock; write A; write B; unlock  (miss = 100 cycles)",
+        ["model", "technique", "cycles (detailed sim)", "paper"],
+    )
+    for model in (SC, RC):
+        for technique, (prefetch, speculation) in {
+            "baseline": (False, False),
+            "prefetch": (True, False),
+            "prefetch+speculation": (True, True),
+        }.items():
+            workload = example1_program()
+            result = run_workload(
+                [workload.program],
+                model=model,
+                prefetch=prefetch,
+                speculation=speculation,
+                initial_memory=workload.initial_memory,
+                warm_lines=workload.warm_lines,
+            )
+            paper = PAPER_CYCLE_COUNTS.get(("example1", model.name, technique))
+            table.add_row(model.name, technique, result.cycles, paper)
+    print(table.render())
+    print()
+    print("Takeaways (paper, Section 3.3):")
+    print(" * prefetching pipelines the delayed writes under BOTH models;")
+    print(" * with the techniques on, strict SC runs as fast as relaxed RC.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Trace-driven analysis: capture a program's access trace and sweep it.
+
+Captures the memory-access trace of a synthetic kernel (the way the
+era's studies drove simulators from application traces), saves and
+reloads it through the text format, then sweeps the analytical model
+over consistency models and techniques — all without re-running the
+program.
+
+Run:  python examples/trace_analysis.py
+"""
+
+import io
+
+from repro import PC, RC, SC, WC, AnalyticalTimingModel
+from repro.analysis import Table
+from repro.isa import ProgramBuilder
+from repro.workloads import (
+    AccessTrace,
+    DirectMappedFilter,
+    trace_from_program,
+    trace_to_segment,
+)
+
+
+def build_kernel():
+    """A loop nest touching an array with a pointer-chase inner step."""
+    b = ProgramBuilder()
+    b.mov_imm("r9", 4)                      # 4 outer iterations
+    b.label("outer")
+    b.lock_optimistic(addr=0x10, tag="lock")
+    b.load("r1", addr=0x100, tag="head")    # list head
+    b.load("r2", base="r1", addr=0x200, tag="chase1")
+    b.load("r3", base="r2", addr=0x200, tag="chase2")
+    b.add("r4", "r2", "r3")
+    b.store("r4", addr=0x300, tag="publish")
+    b.unlock(addr=0x10, tag="unlock")
+    b.alu("sub", "r9", "r9", imm=1)
+    b.branch_nonzero("r9", "outer", predict_taken=True)
+    return b.build()
+
+
+def main() -> None:
+    program = build_kernel()
+    memory = {0x100: 1, 0x201: 2, 0x202: 3}
+    trace = trace_from_program(program, memory, name="kernel")
+
+    print(f"captured trace '{trace.name}': {trace.stats()}")
+    print()
+    print("first few records:")
+    for record in list(trace)[:7]:
+        print("  " + record.to_line())
+    print()
+
+    # round-trip through the text format
+    text = trace.dumps()
+    trace = AccessTrace.load(io.StringIO(text))
+
+    engine = AnalyticalTimingModel()
+    table = Table(
+        "trace-driven sweep (cold direct-mapped hit filter, miss = 100)",
+        ["model", "baseline", "prefetch", "prefetch+speculation", "speedup"],
+    )
+    for model in (SC, PC, WC, RC):
+        cycles = {}
+        for tech, (pf, sp) in {
+            "baseline": (False, False),
+            "prefetch": (True, False),
+            "prefetch+speculation": (True, True),
+        }.items():
+            segment = trace_to_segment(trace, DirectMappedFilter())
+            cycles[tech] = engine.schedule(segment, model, prefetch=pf,
+                                           speculation=sp).total_cycles
+        table.add_row(model.name, cycles["baseline"], cycles["prefetch"],
+                      cycles["prefetch+speculation"],
+                      round(cycles["baseline"] / cycles["prefetch+speculation"], 2))
+    print(table.render())
+    print()
+    print("The pointer-chase inner step keeps a floor under every")
+    print("configuration (true dependences can't be hidden), but the")
+    print("consistency-imposed delays around it vanish — and SC matches RC.")
+
+
+if __name__ == "__main__":
+    main()

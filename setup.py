@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment has no ``wheel`` package, so PEP 517 editable installs
+fail; this shim lets ``pip install -e . --no-use-pep517`` (and plain
+``pip install -e .`` with older pips) fall back to the legacy
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""Scaling studies: how the techniques behave as the machine grows.
+
+The paper targets "large scale shared-memory multiprocessors"; these
+experiments check that the techniques' benefit survives (and the
+models stay equalized) as processor count grows, on workloads with and
+without sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..consistency.models import RC, SC
+from ..system.machine import run_workload
+from ..workloads.synthetic import barrier_workload, critical_section_workload
+from .tables import Table
+
+
+def cpu_scaling_table(cpu_counts: Sequence[int] = (1, 2, 4),
+                      iterations: int = 2) -> Table:
+    """Uncontended critical sections per CPU, growing the machine."""
+    table = Table(
+        "Scaling: private critical sections, SC, growing CPU count",
+        ["CPUs", "baseline", "both techniques", "speedup", "correct"],
+    )
+    for n in cpu_counts:
+        cycles: Dict[str, int] = {}
+        ok = True
+        for tech, (pf, spec) in (("base", (False, False)),
+                                 ("both", (True, True))):
+            wl = critical_section_workload(num_cpus=n, iterations=iterations,
+                                           shared_counters=3, private=True)
+            result = run_workload(wl.programs, model=SC, prefetch=pf,
+                                  speculation=spec,
+                                  initial_memory=wl.initial_memory,
+                                  max_cycles=5_000_000)
+            cycles[tech] = result.cycles
+            ok = ok and all(result.machine.read_word(a) == e
+                            for a, e in wl.expectations)
+        table.add_row(n, cycles["base"], cycles["both"],
+                      round(cycles["base"] / cycles["both"], 2),
+                      "yes" if ok else "NO")
+    table.add_note("per-CPU work is constant; cycles should stay roughly "
+                   "flat and the speedup stable as CPUs are added")
+    return table
+
+
+def barrier_scaling_table(cpu_counts: Sequence[int] = (2, 3, 4),
+                          phases: int = 2) -> Table:
+    """Barrier-phased SPMD kernel: real global synchronization."""
+    table = Table(
+        "Scaling: barrier-phased kernel (SC vs RC, both techniques)",
+        ["CPUs", "SC base", "SC both", "RC both", "correct"],
+    )
+    for n in cpu_counts:
+        cycles: Dict[str, int] = {}
+        ok = True
+        for key, model, pf, spec in (
+            ("sc_base", SC, False, False),
+            ("sc_both", SC, True, True),
+            ("rc_both", RC, True, True),
+        ):
+            wl = barrier_workload(num_cpus=n, phases=phases)
+            result = run_workload(wl.programs, model=model, prefetch=pf,
+                                  speculation=spec,
+                                  initial_memory=wl.initial_memory,
+                                  max_cycles=10_000_000)
+            cycles[key] = result.cycles
+            ok = ok and all(result.machine.read_word(a) == e
+                            for a, e in wl.expectations)
+        table.add_row(n, cycles["sc_base"], cycles["sc_both"],
+                      cycles["rc_both"], "yes" if ok else "NO")
+    table.add_note("barriers serialize globally, so cycles grow with CPU "
+                   "count; the techniques keep SC within reach of RC")
+    return table

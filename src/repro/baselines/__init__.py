@@ -1,0 +1,21 @@
+"""Related-work baseline schemes (paper, Section 6)."""
+
+from .schemes import (
+    SchemeResult,
+    adve_hill_sc,
+    binding_prefetch,
+    compare_schemes,
+    conventional,
+    our_techniques,
+    stenstrom_nst,
+)
+
+__all__ = [
+    "SchemeResult",
+    "adve_hill_sc",
+    "binding_prefetch",
+    "compare_schemes",
+    "conventional",
+    "our_techniques",
+    "stenstrom_nst",
+]

@@ -1,0 +1,15 @@
+"""Cache coherence: protocol messages and the directory controller."""
+
+from .directory import DirectoryController, DirEntry, DirState, Transaction
+from .messages import DIRECTORY_NODE, Message, MessageKind, NodeId
+
+__all__ = [
+    "DIRECTORY_NODE",
+    "DirEntry",
+    "DirState",
+    "DirectoryController",
+    "Message",
+    "MessageKind",
+    "NodeId",
+    "Transaction",
+]

@@ -1,0 +1,276 @@
+"""Litmus tests: exhaustive enumeration of outcomes permitted by a model.
+
+The operational semantics match the paper's simplifying assumptions
+(Section 2): writes are atomic — a write becomes visible to all
+processors at the same time — so an execution is a *linearization* of
+all accesses.  A consistency model constrains which linearizations are
+legal: if ``delay_arc(a, b)`` holds for two same-thread accesses, ``a``
+must be linearized before ``b``.  Same-address accesses from one thread
+always stay in program order (local data dependences are observed).
+
+Loads read the most recent earlier write to their address in the
+linearization, or the initial value.  The set of reachable final
+register assignments is the model's *outcome set*; comparing outcome
+sets across models reproduces Figure 1's ordering-restriction story in
+an executable form.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..sim.errors import ConfigurationError
+from .access_class import AccessClass
+from .models import ConsistencyModel
+
+Outcome = Tuple[Tuple[str, int], ...]
+
+
+@dataclass(frozen=True)
+class LitmusOp:
+    """One access in a litmus thread.
+
+    ``op`` is ``"R"`` or ``"W"``.  Reads name a destination register
+    (unique across the whole test); writes carry a value.
+    """
+
+    op: str
+    addr: str
+    value: int = 0
+    reg: str = ""
+    acquire: bool = False
+    release: bool = False
+
+    def __post_init__(self) -> None:
+        if self.op not in ("R", "W"):
+            raise ConfigurationError(f"litmus op must be 'R' or 'W', got {self.op!r}")
+        if self.op == "R" and not self.reg:
+            raise ConfigurationError("litmus reads need a destination register name")
+        if self.acquire and self.op != "R":
+            raise ConfigurationError("acquire must be a read")
+        if self.release and self.op != "W":
+            raise ConfigurationError("release must be a write")
+
+    def access_class(self) -> AccessClass:
+        return AccessClass(is_load=self.op == "R", is_store=self.op == "W",
+                           acquire=self.acquire, release=self.release)
+
+    def describe(self) -> str:
+        flags = ".acq" if self.acquire else (".rel" if self.release else "")
+        if self.op == "R":
+            return f"R{flags} {self.addr} -> {self.reg}"
+        return f"W{flags} {self.addr} = {self.value}"
+
+
+def read(addr: str, reg: str, acquire: bool = False) -> LitmusOp:
+    return LitmusOp(op="R", addr=addr, reg=reg, acquire=acquire)
+
+
+def write(addr: str, value: int, release: bool = False) -> LitmusOp:
+    return LitmusOp(op="W", addr=addr, value=value, release=release)
+
+
+@dataclass
+class LitmusTest:
+    """A named multi-threaded litmus test."""
+
+    name: str
+    threads: Sequence[Sequence[LitmusOp]]
+    initial: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        regs = [op.reg for t in self.threads for op in t if op.op == "R"]
+        if len(regs) != len(set(regs)):
+            raise ConfigurationError(f"{self.name}: read registers must be unique")
+        total = sum(len(t) for t in self.threads)
+        if total > 12:
+            raise ConfigurationError(
+                f"{self.name}: {total} accesses is too many for exhaustive enumeration"
+            )
+
+    # ------------------------------------------------------------------
+    def outcomes(self, model: ConsistencyModel) -> FrozenSet[Outcome]:
+        """All final register assignments reachable under ``model``."""
+        ops: List[Tuple[int, int, LitmusOp]] = [
+            (t, i, op)
+            for t, thread in enumerate(self.threads)
+            for i, op in enumerate(thread)
+        ]
+        # preds[k] = indices (into ops) that must linearize before ops[k]
+        preds: List[List[int]] = [[] for _ in ops]
+        for k, (t, i, op) in enumerate(ops):
+            for k2, (t2, i2, op2) in enumerate(ops):
+                if t2 != t or i2 >= i:
+                    continue
+                same_addr = op2.addr == op.addr
+                if same_addr or model.delay_arc(op2.access_class(), op.access_class()):
+                    preds[k].append(k2)
+
+        results: set = set()
+
+        def dfs(done: Tuple[bool, ...], memory: Dict[str, int], regs: Dict[str, int]) -> None:
+            if all(done):
+                results.add(tuple(sorted(regs.items())))
+                return
+            for k, (t, i, op) in enumerate(ops):
+                if done[k] or any(not done[p] for p in preds[k]):
+                    continue
+                new_done = done[:k] + (True,) + done[k + 1:]
+                if op.op == "W":
+                    new_memory = dict(memory)
+                    new_memory[op.addr] = op.value
+                    dfs(new_done, new_memory, regs)
+                else:
+                    new_regs = dict(regs)
+                    new_regs[op.reg] = memory.get(op.addr, self.initial.get(op.addr, 0))
+                    dfs(new_done, memory, new_regs)
+
+        dfs(tuple(False for _ in ops), dict(self.initial), {})
+        return frozenset(results)
+
+    # ------------------------------------------------------------------
+    def allows(self, model: ConsistencyModel, **partial: int) -> bool:
+        """Is some outcome consistent with the given register values?"""
+        wanted = set(partial.items())
+        return any(wanted <= set(outcome) for outcome in self.outcomes(model))
+
+    def forbids(self, model: ConsistencyModel, **partial: int) -> bool:
+        return not self.allows(model, **partial)
+
+
+# ----------------------------------------------------------------------
+# The standard litmus library
+# ----------------------------------------------------------------------
+
+def store_buffering() -> LitmusTest:
+    """SB / Dekker: both reads returning 0 requires R to bypass earlier W."""
+    return LitmusTest(
+        name="store-buffering",
+        threads=[
+            [write("x", 1), read("y", "r0")],
+            [write("y", 1), read("x", "r1")],
+        ],
+    )
+
+
+def message_passing() -> LitmusTest:
+    """MP: consumer sees flag=1 but stale data=0 only if W-W or R-R reorder."""
+    return LitmusTest(
+        name="message-passing",
+        threads=[
+            [write("data", 1), write("flag", 1)],
+            [read("flag", "r0"), read("data", "r1")],
+        ],
+    )
+
+
+def message_passing_sync() -> LitmusTest:
+    """MP with a release-store flag and acquire-load flag (RC idiom)."""
+    return LitmusTest(
+        name="message-passing-sync",
+        threads=[
+            [write("data", 1), write("flag", 1, release=True)],
+            [read("flag", "r0", acquire=True), read("data", "r1")],
+        ],
+    )
+
+
+def load_buffering() -> LitmusTest:
+    """LB: both reads returning the other thread's later write."""
+    return LitmusTest(
+        name="load-buffering",
+        threads=[
+            [read("x", "r0"), write("y", 1)],
+            [read("y", "r1"), write("x", 1)],
+        ],
+    )
+
+
+def coherence_per_location() -> LitmusTest:
+    """Same-location writes must be observed in program order."""
+    return LitmusTest(
+        name="coherence",
+        threads=[
+            [write("x", 1), write("x", 2)],
+            [read("x", "r0"), read("x", "r1")],
+        ],
+    )
+
+
+def critical_section() -> LitmusTest:
+    """An RC-style critical section: data race-free hand-off through a lock.
+
+    Thread 0 acquires (reads the free lock), writes data, releases.
+    Thread 1 acquires *after* observing the release value, reads data.
+    With proper acquire/release labeling, a consumer that saw the
+    release must see the data.
+    """
+    return LitmusTest(
+        name="critical-section",
+        threads=[
+            [read("L", "r_lock0", acquire=True), write("data", 1),
+             write("L", 2, release=True)],
+            [read("L", "r_lock1", acquire=True), read("data", "r_data")],
+        ],
+    )
+
+
+def iriw() -> LitmusTest:
+    """Independent reads of independent writes.
+
+    With the paper's Section 2 assumption — a write becomes visible to
+    all processors at the same time — the two readers can never
+    disagree about the order of the two writes, under *any* of the
+    models (write atomicity, not program order, is what IRIW probes).
+    """
+    return LitmusTest(
+        name="iriw",
+        threads=[
+            [write("x", 1)],
+            [write("y", 1)],
+            [read("x", "r0", acquire=True), read("y", "r1", acquire=True)],
+            [read("y", "r2", acquire=True), read("x", "r3", acquire=True)],
+        ],
+    )
+
+
+def write_to_read_causality() -> LitmusTest:
+    """WRC: a value observed and republished must stay observable."""
+    return LitmusTest(
+        name="wrc",
+        threads=[
+            [write("x", 1)],
+            [read("x", "r0", acquire=True), write("y", 1, release=True)],
+            [read("y", "r1", acquire=True), read("x", "r2")],
+        ],
+    )
+
+
+def sb_with_sync() -> LitmusTest:
+    """SB where both stores are releases and both loads acquires.
+
+    Under RCpc a release -> acquire pair is still unordered, so the
+    Dekker outcome survives even fully-labelled code — this is exactly
+    the RCpc/RCsc distinction (footnote 1).
+    """
+    return LitmusTest(
+        name="sb+sync",
+        threads=[
+            [write("x", 1, release=True), read("y", "r0", acquire=True)],
+            [write("y", 1, release=True), read("x", "r1", acquire=True)],
+        ],
+    )
+
+
+STANDARD_TESTS = {
+    "SB": store_buffering,
+    "MP": message_passing,
+    "MP+sync": message_passing_sync,
+    "LB": load_buffering,
+    "coherence": coherence_per_location,
+    "IRIW": iriw,
+    "WRC": write_to_read_causality,
+    "SB+sync": sb_with_sync,
+}

@@ -1,0 +1,35 @@
+"""The paper's contribution: prefetch, speculative loads, analytic timing."""
+
+from .prefetch import HardwarePrefetcher, PrefetchCandidate
+from .sc_detection import PotentialViolation, ScViolationDetector
+from .speculation import (
+    Correction,
+    CorrectionKind,
+    SlbEntry,
+    SpeculativeLoadBuffer,
+)
+from .timing import (
+    AccessSpec,
+    AccessTiming,
+    AnalyticalTimingModel,
+    ScheduleResult,
+    TimingConfig,
+    compare_configurations,
+)
+
+__all__ = [
+    "AccessSpec",
+    "AccessTiming",
+    "AnalyticalTimingModel",
+    "Correction",
+    "CorrectionKind",
+    "HardwarePrefetcher",
+    "PotentialViolation",
+    "PrefetchCandidate",
+    "ScViolationDetector",
+    "ScheduleResult",
+    "SlbEntry",
+    "SpeculativeLoadBuffer",
+    "TimingConfig",
+    "compare_configurations",
+]

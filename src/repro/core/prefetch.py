@@ -1,0 +1,74 @@
+"""Hardware-controlled non-binding prefetch (paper, Section 3).
+
+The prefetcher watches the load/store unit's buffers for accesses that
+are *delayed due to consistency constraints* but whose addresses are
+already computable, and issues non-binding prefetches for them:
+
+* **read prefetch** for delayed loads — brings the line in read-shared
+  state;
+* **read-exclusive prefetch** for delayed stores and RMWs — acquires
+  ownership early, so the write completes quickly once the consistency
+  model allows it to issue.  Only meaningful under an invalidation
+  protocol (Section 3.2), so it is disabled under the update protocol.
+
+A prefetch probes the cache first and is discarded if the line is
+already present or already being fetched (that logic lives in
+:meth:`LockupFreeCache.prefetch`).  Prefetches only consume cache
+bandwidth left over by demand accesses: the LSU ticks before the
+prefetcher, and the cache port check arbitrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..memory.cache import LockupFreeCache
+from ..sim.stats import StatsRegistry
+
+
+@dataclass(frozen=True)
+class PrefetchCandidate:
+    """A delayed access the LSU exposes to the prefetcher."""
+
+    addr: int
+    exclusive: bool
+    tag: str = ""
+
+
+class HardwarePrefetcher:
+    def __init__(
+        self,
+        cache: LockupFreeCache,
+        per_cycle: int,
+        stats: StatsRegistry,
+        name: str = "prefetcher",
+    ) -> None:
+        self.cache = cache
+        self.per_cycle = per_cycle
+        self.allow_exclusive = cache.config.protocol == "invalidate"
+        self.stat_issued = stats.counter(f"{name}/issued")
+        self.stat_exclusive = stats.counter(f"{name}/exclusive")
+
+    def tick(self, candidates: Iterable[PrefetchCandidate]) -> int:
+        """Issue prefetches for a prefix of ``candidates`` (bounded by
+        ``per_cycle`` and cache port availability); returns how many of
+        the candidates were consumed, so the caller only marks those as
+        handled and re-offers the rest next cycle."""
+        issued = 0
+        for cand in candidates:
+            if issued >= self.per_cycle:
+                break
+            if not self.cache.can_accept():
+                break
+            exclusive = cand.exclusive and self.allow_exclusive
+            # Under the update protocol a write cannot be partially
+            # serviced (Section 3.2); fall back to a read prefetch,
+            # which at least brings the line near.
+            if not self.cache.prefetch(cand.addr, exclusive=exclusive):
+                break
+            issued += 1
+            self.stat_issued.inc()
+            if exclusive:
+                self.stat_exclusive.inc()
+        return issued

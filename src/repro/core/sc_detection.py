@@ -1,0 +1,145 @@
+"""Detecting potential SC violations on relaxed hardware (Section 6).
+
+The paper observes that the speculative-load buffer's detection
+mechanism "can be extended to detect violations of sequential
+consistency in architectures that implement more relaxed models such
+as release consistency", citing the authors' companion work
+(Gharachorloo & Gibbons, SPAA 1991): a release-consistent machine is
+sequentially consistent for data-race-free programs, so flagging the
+executions where an access performed *outside its SC window* was hit
+by a coherence event identifies the executions that may expose a race.
+
+This module implements that monitor.  Unlike the speculative-load
+buffer it has **no correction mechanism** — it only reports:
+
+* every memory access enters the monitor in program order (when its
+  address is known), initially unperformed;
+* an entry leaves the monitor once it *and every program-earlier
+  access* has performed — i.e. when SC itself would have allowed it;
+* a coherence event (invalidation / update / replacement) matching an
+  entry that already performed — but whose SC window is still open —
+  means another processor touched the line in exactly the interval
+  where the early perform could be observed: a **potential SC
+  violation** is counted and recorded.
+
+As the paper notes, the version used for race detection must be less
+conservative than the rollback mechanism; this implementation keeps
+the conservative line-granular check (false positives possible, no
+false negatives under write atomicity), which is sufficient to flag
+racy executions while staying silent on race-free ones in practice.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..memory.types import SnoopKind
+from ..sim.stats import StatsRegistry
+
+
+@dataclass
+class MonitorEntry:
+    seq: int
+    addr: int
+    line_addr: int
+    is_store: bool
+    performed: bool = False
+    tag: str = ""
+
+
+@dataclass(frozen=True)
+class PotentialViolation:
+    cycle: int
+    seq: int
+    addr: int
+    snoop: SnoopKind
+    tag: str = ""
+
+    def describe(self) -> str:
+        kind = self.snoop.value
+        return (f"cycle {self.cycle}: access #{self.seq} "
+                f"({self.tag or hex(self.addr)}) saw a remote {kind} "
+                f"while outside its SC window")
+
+
+class ScViolationDetector:
+    """Per-processor monitor flagging potentially-SC-violating accesses."""
+
+    def __init__(self, stats: StatsRegistry, name: str = "sc_detector",
+                 max_recorded: int = 64) -> None:
+        self._entries: "OrderedDict[int, MonitorEntry]" = OrderedDict()
+        self.violations: List[PotentialViolation] = []
+        self.max_recorded = max_recorded
+        self.stat_monitored = stats.counter(f"{name}/accesses_monitored")
+        self.stat_violations = stats.counter(f"{name}/potential_violations")
+        self._clock: Callable[[], int] = lambda: 0
+
+    def set_clock(self, clock: Callable[[], int]) -> None:
+        self._clock = clock
+
+    # ------------------------------------------------------------------
+    def monitor(self, seq: int, addr: int, line_addr: int,
+                is_store: bool, tag: str = "") -> None:
+        """Begin monitoring an access (called in program order)."""
+        if seq in self._entries:
+            return
+        self._entries[seq] = MonitorEntry(seq=seq, addr=addr,
+                                          line_addr=line_addr,
+                                          is_store=is_store, tag=tag)
+        self.stat_monitored.inc()
+
+    def mark_performed(self, seq: int) -> None:
+        entry = self._entries.get(seq)
+        if entry is not None:
+            entry.performed = True
+        self._retire_window()
+
+    def discard(self, seq: int) -> None:
+        """The access was squashed; it never architecturally happened."""
+        self._entries.pop(seq, None)
+
+    def _retire_window(self) -> None:
+        """Pop entries whose SC window has closed: an access leaves once
+        it and every earlier monitored access have performed."""
+        while self._entries:
+            head = next(iter(self._entries.values()))
+            if not head.performed:
+                break
+            self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def on_snoop(self, kind: SnoopKind, line_addr: int) -> None:
+        for entry in self._entries.values():
+            if entry.line_addr != line_addr:
+                continue
+            if not entry.performed:
+                # the access has not bound a value yet; whatever it
+                # eventually returns will be current — not a violation
+                continue
+            self.stat_violations.inc()
+            if len(self.violations) < self.max_recorded:
+                self.violations.append(PotentialViolation(
+                    cycle=self._clock(),
+                    seq=entry.seq,
+                    addr=entry.addr,
+                    snoop=kind,
+                    tag=entry.tag,
+                ))
+
+    # ------------------------------------------------------------------
+    @property
+    def flagged(self) -> bool:
+        return self.stat_violations.value > 0
+
+    def report(self) -> str:
+        if not self.flagged:
+            return ("no potential SC violations detected "
+                    "(the execution is sequentially consistent)")
+        lines = [f"{self.stat_violations.value} potential SC violation(s):"]
+        lines += ["  " + v.describe() for v in self.violations]
+        if self.stat_violations.value > len(self.violations):
+            lines.append(f"  ... and "
+                         f"{self.stat_violations.value - len(self.violations)} more")
+        return "\n".join(lines)

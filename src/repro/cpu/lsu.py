@@ -1,0 +1,700 @@
+"""The load/store functional unit (paper, Figure 4).
+
+Components, mirroring the figure:
+
+* **load/store reservation station** — decoded memory operations in
+  program order, retired FIFO to the address unit.  Without speculative
+  loads, consistency constraints are enforced here: a load stalls at
+  the head until no earlier pending access has a delay arc to it.
+* **address unit** — one cycle of effective-address computation; FIFO,
+  so when a load reaches the issue stage every earlier store's address
+  is already known (which makes store-buffer dependence checking
+  complete).
+* **store buffer** — stores (and RMWs) wait here for the reorder
+  buffer's signal (precise interrupts: a store may touch memory only
+  once it reaches the ROB head) and for the consistency model's store
+  rules (e.g. SC issues stores one at a time; RC pipelines ordinary
+  stores and holds releases until earlier stores complete).
+* **speculative-load buffer** — see :mod:`repro.core.speculation`.
+  With speculation enabled, loads issue as soon as their address is
+  computed and the buffer takes over constraint tracking.
+
+Loads bypass the store buffer with a word-granular dependence check
+(store-to-load forwarding).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+
+from ..consistency.access_class import AccessClass, classify
+from ..consistency.models import ConsistencyModel
+from ..core.prefetch import HardwarePrefetcher, PrefetchCandidate
+from ..core.sc_detection import ScViolationDetector
+from ..core.speculation import (
+    Correction,
+    CorrectionKind,
+    SlbEntry,
+    SpeculativeLoadBuffer,
+)
+from ..consistency.access_class import PLAIN_LOAD, PLAIN_STORE
+from ..isa.instructions import Load, Rmw, SoftwarePrefetch, Store
+from ..memory.cache import LockupFreeCache
+from ..memory.types import AccessKind, AccessRequest, SnoopKind
+from ..sim.kernel import Simulator
+from ..sim.trace import NullTraceRecorder, TraceRecorder
+from .config import ProcessorConfig
+from .rob import Operand, ReorderBuffer, RobEntry
+
+
+class MemState(enum.Enum):
+    IN_RS = "rs"
+    IN_ADDR = "addr"
+    READY = "ready"          # load waiting to issue to the cache
+    ISSUED = "issued"        # load in flight
+    IN_SB = "sb"             # store/rmw waiting in the store buffer
+    SB_ISSUED = "sb_issued"  # store/rmw in flight
+    PERFORMED = "performed"
+
+
+@dataclass
+class MemOp:
+    """One memory instruction tracked by the LSU, decode to completion."""
+
+    seq: int
+    rob_entry: RobEntry
+    klass: AccessClass
+    base: Operand
+    data: Optional[Operand]       # store value / rmw operand
+    offset: int
+    state: MemState = MemState.IN_RS
+    addr: Optional[int] = None
+    generation: int = 0
+    prefetch_issued: bool = False
+    signalled: bool = False
+    forwarded: bool = False
+    is_sw_prefetch: bool = False
+    tag: str = ""
+
+    @property
+    def is_load(self) -> bool:
+        return self.klass.is_load and not self.klass.is_store
+
+    @property
+    def is_store(self) -> bool:
+        return self.klass.is_store and not self.klass.is_load
+
+    @property
+    def is_rmw(self) -> bool:
+        return self.klass.is_load and self.klass.is_store
+
+    @property
+    def performed(self) -> bool:
+        return self.state is MemState.PERFORMED
+
+
+class LoadStoreUnit:
+    def __init__(
+        self,
+        cpu_id: int,
+        sim: Simulator,
+        cache: LockupFreeCache,
+        rob: ReorderBuffer,
+        config: ProcessorConfig,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.cpu_id = cpu_id
+        self.sim = sim
+        self.cache = cache
+        self.rob = rob
+        self.config = config
+        self.model: ConsistencyModel = config.model
+        self.trace = trace or NullTraceRecorder()
+        self.name = f"cpu{cpu_id}/lsu"
+
+        self.rs: Deque[MemOp] = deque()
+        self.addr_unit: Optional[Tuple[MemOp, int]] = None  # (op, ready cycle)
+        self.ready_loads: List[MemOp] = []
+        self.store_buffer: List[MemOp] = []
+        #: every decoded memory op, program order, until performed
+        self.pending: "OrderedDict[int, MemOp]" = OrderedDict()
+        self._req_ids = itertools.count(1)
+
+        self.slb: Optional[SpeculativeLoadBuffer] = None
+        if config.enable_speculation:
+            self.slb = SpeculativeLoadBuffer(config.slb_size, sim.stats,
+                                             name=f"cpu{cpu_id}/slb")
+        self.prefetcher: Optional[HardwarePrefetcher] = None
+        if config.enable_prefetch:
+            self.prefetcher = HardwarePrefetcher(
+                cache, config.prefetches_per_cycle, sim.stats,
+                name=f"cpu{cpu_id}/prefetcher")
+        self.sc_detector: Optional[ScViolationDetector] = None
+        if config.enable_sc_detection:
+            self.sc_detector = ScViolationDetector(
+                sim.stats, name=f"cpu{cpu_id}/sc_detector")
+            self.sc_detector.set_clock(lambda: self.sim.cycle)
+
+        cache.register_snoop_listener(self._on_snoop)
+
+        #: set by the processor: (seq, refetch_pc) -> None
+        self.request_squash: Callable[[int, int, str], None] = lambda s, pc, why: None
+
+        s = sim.stats
+        self.stat_loads = s.counter(f"{self.name}/loads")
+        self.stat_stores = s.counter(f"{self.name}/stores")
+        self.stat_rmws = s.counter(f"{self.name}/rmws")
+        self.stat_forwards = s.counter(f"{self.name}/store_forwards")
+        self.stat_rs_stalls = s.counter(f"{self.name}/rs_consistency_stalls")
+        self.stat_sb_stalls = s.counter(f"{self.name}/sb_consistency_stalls")
+        self.stat_load_latency = s.histogram(f"{self.name}/load_latency")
+        self.stat_store_latency = s.histogram(f"{self.name}/store_latency")
+
+    # ------------------------------------------------------------------
+    # Dispatch (from decode)
+    # ------------------------------------------------------------------
+    @property
+    def rs_full(self) -> bool:
+        return len(self.rs) >= self.config.ls_rs_size
+
+    def dispatch(self, entry: RobEntry, base: Operand, data: Optional[Operand]) -> None:
+        instr = entry.instr
+        if isinstance(instr, SoftwarePrefetch):
+            # non-binding: flows through the address unit like any
+            # memory op but never participates in consistency ordering
+            op = MemOp(
+                seq=entry.seq,
+                rob_entry=entry,
+                klass=PLAIN_STORE if instr.exclusive else PLAIN_LOAD,
+                base=base,
+                data=None,
+                offset=instr.offset,
+                is_sw_prefetch=True,
+                tag=instr.describe(),
+            )
+            self.rs.append(op)
+            return
+        op = MemOp(
+            seq=entry.seq,
+            rob_entry=entry,
+            klass=classify(instr),
+            base=base,
+            data=data,
+            offset=instr.offset,
+            tag=instr.describe(),
+        )
+        self.rs.append(op)
+        self.pending[op.seq] = op
+
+    # ------------------------------------------------------------------
+    # Consistency queries
+    # ------------------------------------------------------------------
+    def _earlier_unperformed(self, seq: int) -> List[MemOp]:
+        out = []
+        for s, op in self.pending.items():
+            if s >= seq:
+                break
+            if not op.performed:
+                out.append(op)
+        return out
+
+    def _may_perform_now(self, op: MemOp) -> bool:
+        earlier = self._earlier_unperformed(op.seq)
+        return self.model.may_perform([e.klass for e in earlier], op.klass)
+
+    # ------------------------------------------------------------------
+    # Per-cycle behaviour
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        self._drain_addr_unit(cycle)
+        self._advance_rs(cycle)
+        self._issue_stores(cycle)
+        self._issue_loads(cycle)
+        if self.slb is not None:
+            self.slb.retire_ready()
+        if self.prefetcher is not None:
+            ops, candidates = self._prefetch_candidates()
+            issued = self.prefetcher.tick(candidates)
+            for op in ops[:issued]:
+                op.prefetch_issued = True
+
+    # -- address unit ---------------------------------------------------
+    def _drain_addr_unit(self, cycle: int) -> None:
+        if self.addr_unit is None:
+            return
+        op, ready = self.addr_unit
+        if cycle < ready:
+            return
+        base = op.base.resolve(self.rob)
+        assert base is not None
+        op.addr = base + op.offset
+        if self.sc_detector is not None and not op.is_sw_prefetch:
+            self.sc_detector.monitor(
+                op.seq, op.addr, self.cache.config.line_addr(op.addr),
+                is_store=op.klass.is_store, tag=op.tag)
+        if op.is_sw_prefetch:
+            instr = op.rob_entry.instr
+            if not self.cache.can_accept():
+                return  # retry next cycle
+            self.cache.prefetch(op.addr, exclusive=bool(
+                getattr(instr, "exclusive", False)
+                and self.cache.config.protocol == "invalidate"))
+            self.rob.mark_done(op.seq, None)
+            op.state = MemState.PERFORMED
+            self.addr_unit = None
+            return
+        if op.is_load:
+            # loads retired from the reservation station enter the
+            # speculative-load buffer here, in program (FIFO) order —
+            # except uncached loads, which cannot be monitored and are
+            # delayed conventionally (Appendix A)
+            uncached = self.cache.config.is_uncached(op.addr)
+            if (not uncached and self.slb is not None
+                    and not self._enter_slb(op)):
+                return  # SLB full: stall the address unit
+            op.state = MemState.READY
+            self.ready_loads.append(op)
+            self.addr_unit = None
+        else:
+            # store or RMW heads for the store buffer
+            if len(self.store_buffer) >= self.config.store_buffer_size:
+                return  # stall until a slot frees
+            op.state = MemState.IN_SB
+            self.store_buffer.append(op)
+            self.addr_unit = None
+            if op.is_store:
+                # a store "completes" for ROB purposes at address
+                # translation; the value it writes is tracked here
+                self.rob.mark_done(op.seq, None)
+            if (op.is_rmw and self.slb is not None
+                    and not self.cache.config.is_uncached(op.addr)):
+                # "there is no speculative load for non-cached
+                # read-modify-write accesses" (Appendix A)
+                self._issue_speculative_rmw_read(op)
+
+    # -- reservation station ---------------------------------------------
+    def _advance_rs(self, cycle: int) -> None:
+        if self.addr_unit is not None or not self.rs:
+            return
+        head = self.rs[0]
+        base = head.base.resolve(self.rob)
+        if base is None:
+            return  # effective address not computable yet (paper: stall)
+        uncached_load = (head.is_load
+                         and self.cache.config.is_uncached(base + head.offset))
+        if (head.is_load and not head.is_sw_prefetch
+                and (self.slb is None or uncached_load)
+                and not self._may_perform_now(head)):
+            # conventional implementation: stall the reservation station
+            self.stat_rs_stalls.inc()
+            return
+        self.rs.popleft()
+        head.state = MemState.IN_ADDR
+        self.addr_unit = (head, cycle + 1)
+
+    # -- store buffer -----------------------------------------------------
+    def signal_store(self, seq: int) -> None:
+        """The reorder buffer signals that ``seq`` reached its head."""
+        op = self.pending.get(seq)
+        if op is not None:
+            op.signalled = True
+
+    def _issue_stores(self, cycle: int) -> None:
+        for idx, op in enumerate(self.store_buffer):
+            if op.state is not MemState.IN_SB:
+                continue
+            if not op.signalled:
+                break  # FIFO: later stores cannot be signalled earlier
+            value = op.data.resolve(self.rob) if op.data is not None else 0
+            if value is None:
+                break
+            blocked = any(
+                e.state is not MemState.PERFORMED
+                and self.model.delay_arc(e.klass, op.klass)
+                for e in self.store_buffer[:idx]
+            )
+            if blocked:
+                self.stat_sb_stalls.inc()
+                break
+            if not self.cache.can_accept():
+                return
+            self._send_store(op, value, cycle)
+            return  # one cache issue per tick from the store buffer
+
+    def _send_store(self, op: MemOp, value: int, cycle: int) -> None:
+        kind = AccessKind.RMW if op.is_rmw else AccessKind.STORE
+        rmw_op = op.rob_entry.instr.op if op.is_rmw else None
+        op.state = MemState.SB_ISSUED
+        op.generation += 1  # invalidate any speculative RMW read in flight
+        if op.is_rmw and self.slb is not None:
+            self.slb.mark_rmw_issued(op.seq)
+        gen = op.generation
+        req = AccessRequest(
+            req_id=next(self._req_ids),
+            kind=kind,
+            addr=op.addr,
+            value=value,
+            rmw_op=rmw_op,
+            generation=gen,
+            tag=op.tag,
+            callback=lambda r, v, op=op, gen=gen, start=cycle:
+                self._store_completed(op, gen, v, start),
+        )
+        accepted = self.cache.access(req)
+        if not accepted:  # port raced away; retry next tick
+            op.state = MemState.IN_SB
+            op.generation -= 1
+            return
+        (self.stat_rmws if op.is_rmw else self.stat_stores).inc()
+        self.trace.record(self.sim.cycle, self.name, "store_issue",
+                          tag=op.tag, seq=op.seq)
+
+    def _store_completed(self, op: MemOp, gen: int, value: int, start: int) -> None:
+        if op.generation != gen or op.state is not MemState.SB_ISSUED:
+            return
+        op.state = MemState.PERFORMED
+        self.stat_store_latency.add(self.sim.cycle - start)
+        if op in self.store_buffer:
+            self.store_buffer.remove(op)
+        self.pending.pop(op.seq, None)
+        if self.sc_detector is not None:
+            self.sc_detector.mark_performed(op.seq)
+        if op.is_rmw:
+            self.rob.mark_done(op.seq, value)
+        if self.slb is not None:
+            self.slb.store_performed(op.seq)
+            if op.is_rmw:
+                self.slb.mark_done(op.seq)
+        self.trace.record(self.sim.cycle, self.name, "store_complete",
+                          tag=op.tag, seq=op.seq)
+
+    # -- loads -------------------------------------------------------------
+    def _issue_loads(self, cycle: int) -> None:
+        issued_one = False
+        for op in list(self.ready_loads):
+            if issued_one:
+                break
+            forwarded = self._try_forward(op, cycle)
+            if forwarded is None:
+                continue  # matching store value unknown yet; retry
+            if forwarded:
+                self.ready_loads.remove(op)
+                issued_one = True
+                continue
+            if not self.cache.can_accept():
+                break
+            self._send_load(op, cycle)
+            self.ready_loads.remove(op)
+            issued_one = True
+
+    def _try_forward(self, op: MemOp, cycle: int) -> Optional[bool]:
+        """Store-buffer dependence check.  Returns True if forwarded,
+        False if no match, None if a matching value is not yet ready."""
+        match: Optional[MemOp] = None
+        for sb in self.store_buffer:
+            if sb.seq < op.seq and sb.addr == op.addr:
+                match = sb  # youngest earlier store wins (keep scanning)
+        if match is None:
+            return False
+        if match.is_rmw:
+            # a load after an unperformed RMW to the same address must
+            # wait for the RMW's result (uniprocessor data dependence);
+            # RMWs do not forward
+            return None
+        value = match.data.resolve(self.rob) if match.data is not None else 0
+        if value is None:
+            return None
+        op.forwarded = True
+        op.state = MemState.ISSUED
+        op.generation += 1
+        gen = op.generation
+        self.stat_forwards.inc()
+        self.sim.schedule(
+            self.cache.config.hit_latency,
+            lambda: self._load_completed(op, gen, value, cycle),
+            label=f"forward {op.tag}",
+        )
+        return True
+
+    def _enter_slb(self, op: MemOp) -> bool:
+        assert self.slb is not None
+        if self.slb.get(op.seq) is not None:
+            return True  # reissue path: entry already present
+        if self.slb.full:
+            return False
+        tags = {
+            e.seq
+            for e in self._earlier_unperformed(op.seq)
+            if e.klass.is_store and self.model.load_waits_for_store(e.klass, op.klass)
+        }
+        self.slb.insert(SlbEntry(
+            seq=op.seq,
+            addr=op.addr,
+            line_addr=self.cache.config.line_addr(op.addr),
+            acq=self.model.load_blocks_later_accesses(op.klass),
+            store_tags=tags,
+            is_rmw=op.is_rmw,
+            tag=op.tag,
+        ))
+        return True
+
+    def _send_load(self, op: MemOp, cycle: int, exclusive_hint: bool = False) -> None:
+        op.state = MemState.ISSUED
+        op.generation += 1
+        gen = op.generation
+        req = AccessRequest(
+            req_id=next(self._req_ids),
+            kind=AccessKind.LOAD,
+            addr=op.addr,
+            generation=gen,
+            tag=op.tag,
+            exclusive_hint=exclusive_hint,
+            callback=lambda r, v, op=op, gen=gen, start=cycle:
+                self._load_completed(op, gen, v, start),
+        )
+        if not self.cache.access(req):
+            op.state = MemState.READY
+            op.generation -= 1
+            return
+        self.stat_loads.inc()
+        self.trace.record(self.sim.cycle, self.name, "load_issue",
+                          tag=op.tag, seq=op.seq,
+                          speculative=self.slb is not None)
+
+    def _load_completed(self, op: MemOp, gen: int, value: int, start: int) -> None:
+        if op.generation != gen:
+            return  # stale response from before a reissue/squash
+        if op.seq not in self.pending:
+            return  # squashed
+        if op.is_rmw:
+            self._rmw_read_completed(op, value)
+            return
+        op.state = MemState.PERFORMED
+        self.pending.pop(op.seq, None)
+        self.stat_load_latency.add(self.sim.cycle - start)
+        self.rob.mark_done(op.seq, value)
+        if self.slb is not None:
+            self.slb.mark_done(op.seq)
+        if self.sc_detector is not None:
+            self.sc_detector.mark_performed(op.seq)
+        self.trace.record(self.sim.cycle, self.name, "load_complete",
+                          tag=op.tag, seq=op.seq, value=value)
+
+    # -- speculative RMW (Appendix A) ---------------------------------------
+    def _issue_speculative_rmw_read(self, op: MemOp) -> None:
+        assert self.slb is not None
+        if not self._enter_slb(op):
+            self.sim.schedule(1, lambda: self._retry_spec_rmw(op), label="slb retry")
+            return
+        entry = self.slb.get(op.seq)
+        entry.store_tags.add(op.seq)  # its own store-buffer tag (Appendix A)
+        self._try_send_rmw_read(op)
+
+    def _retry_spec_rmw(self, op: MemOp) -> None:
+        if op.seq not in self.pending or op.state is not MemState.IN_SB:
+            return
+        self._issue_speculative_rmw_read(op)
+
+    def _try_send_rmw_read(self, op: MemOp) -> None:
+        """Issue the speculative read-exclusive, honouring the store
+        buffer dependence check.
+
+        The cache knows nothing about this processor's own pending
+        stores, so a speculative read that bypassed an earlier buffered
+        store to the same address would bind a stale value *without any
+        coherence event ever exposing it* (e.g. a lock RMW reading 1
+        while the unlock that writes 0 sits in the store buffer — a
+        lost lock acquisition).  We conservatively wait until no earlier
+        same-address store-buffer entry is outstanding.
+        """
+        if op.seq not in self.pending:
+            return  # squashed
+        if op.state is not MemState.IN_SB:
+            return  # the real RMW has issued; its result is authoritative
+        blocked = any(sb.seq < op.seq and sb.addr == op.addr and not sb.performed
+                      for sb in self.store_buffer)
+        if blocked:
+            self.sim.schedule(1, lambda: self._try_send_rmw_read(op),
+                              label="rmw read dep wait")
+            return
+        self._send_rmw_read(op)
+
+    def _send_rmw_read(self, op: MemOp) -> None:
+        gen = op.generation
+        req = AccessRequest(
+            req_id=next(self._req_ids),
+            kind=AccessKind.LOAD,
+            addr=op.addr,
+            generation=gen,
+            exclusive_hint=True,
+            tag=op.tag + " (spec read)",
+            callback=lambda r, v, op=op, gen=gen: self._spec_rmw_read_done(op, gen, v),
+        )
+        if not self.cache.access(req):
+            self.sim.schedule(1, lambda: self._retry_rmw_read(op, gen), label="rmw read retry")
+
+    def _retry_rmw_read(self, op: MemOp, gen: int) -> None:
+        if op.generation != gen or op.seq not in self.pending:
+            return
+        self._send_rmw_read(op)
+
+    def _spec_rmw_read_done(self, op: MemOp, gen: int, value: int) -> None:
+        if op.generation != gen or op.seq not in self.pending:
+            return  # RMW was issued (or squashed); ignore the spec result
+        # the speculative old-value is made available to dependents
+        self.rob.mark_done(op.seq, value)
+        if self.slb is not None:
+            self.slb.mark_done(op.seq)
+        self.trace.record(self.sim.cycle, self.name, "rmw_spec_value",
+                          tag=op.tag, seq=op.seq, value=value)
+
+    def _rmw_read_completed(self, op: MemOp, value: int) -> None:
+        # demand RMW path never routes here: actual RMWs complete via
+        # _store_completed.  (Reached only if a LOAD-kind callback was
+        # wired to an RMW op outside the spec path, which is a bug.)
+        raise AssertionError("RMW ops complete via the store buffer path")
+
+    # ------------------------------------------------------------------
+    # Detection & correction plumbing
+    # ------------------------------------------------------------------
+    def _on_snoop(self, kind: SnoopKind, line_addr: int) -> None:
+        if self.sc_detector is not None:
+            self.sc_detector.on_snoop(kind, line_addr)
+        if self.slb is None:
+            return
+        for corr in self.slb.on_snoop(kind, line_addr):
+            self._apply_correction(corr, kind)
+
+    def _apply_correction(self, corr: Correction, kind: SnoopKind) -> None:
+        op = self.pending.get(corr.seq)
+        if corr.kind is CorrectionKind.REISSUE:
+            if op is None or op.is_rmw:
+                return
+            self.trace.record(self.sim.cycle, self.name, "slb_reissue",
+                              seq=corr.seq, tag=op.tag, snoop=kind.value)
+            op.generation += 1
+            if op.state is MemState.ISSUED:
+                op.state = MemState.READY
+                op.forwarded = False
+                if op not in self.ready_loads:
+                    self.ready_loads.append(op)
+                    self.ready_loads.sort(key=lambda o: o.seq)
+            return
+        entry = self.rob.get(corr.seq)
+        if entry is None:
+            return
+        if corr.kind is CorrectionKind.SQUASH_FROM:
+            self.trace.record(self.sim.cycle, self.name, "slb_squash",
+                              seq=corr.seq, tag=entry.describe(), snoop=kind.value)
+            self.request_squash(corr.seq, entry.pc, "speculative load violated")
+        else:  # SQUASH_AFTER (issued RMW keeps its own result)
+            self.trace.record(self.sim.cycle, self.name, "slb_squash_after",
+                              seq=corr.seq, tag=entry.describe(), snoop=kind.value)
+            if op is not None and not op.performed:
+                # the previously-bound speculative value may be stale;
+                # re-decoded dependents must wait for the atomic's own
+                # return value (Appendix A)
+                entry.done = False
+                entry.value = None
+            self.request_squash(corr.seq + 1, entry.pc + 1, "computation after RMW violated")
+
+    # ------------------------------------------------------------------
+    # Squash (called by the processor)
+    # ------------------------------------------------------------------
+    def squash(self, seqs: Set[int]) -> None:
+        self.rs = deque(op for op in self.rs if op.seq not in seqs)
+        if self.addr_unit is not None and self.addr_unit[0].seq in seqs:
+            self.addr_unit = None
+        self.ready_loads = [op for op in self.ready_loads if op.seq not in seqs]
+        for op in self.store_buffer:
+            if op.seq in seqs:
+                assert op.state is not MemState.SB_ISSUED, \
+                    "an issued store can never be squashed (it passed the ROB head)"
+        self.store_buffer = [op for op in self.store_buffer if op.seq not in seqs]
+        for seq in seqs:
+            op = self.pending.pop(seq, None)
+            if op is not None:
+                op.generation += 1  # drop in-flight responses
+            if self.sc_detector is not None:
+                self.sc_detector.discard(seq)
+        if self.slb is not None:
+            self.slb.squash(seqs)
+
+    # ------------------------------------------------------------------
+    # Prefetch candidates (Section 3.2: accesses delayed in the buffers)
+    # ------------------------------------------------------------------
+    def _prefetch_candidates(self) -> Tuple[List[MemOp], List[PrefetchCandidate]]:
+        """Delayed accesses with computable addresses, oldest first.
+
+        Returns parallel lists; the caller marks ``prefetch_issued``
+        only on the prefix the prefetcher actually consumed.
+        """
+        ops: List[MemOp] = []
+        candidates: List[PrefetchCandidate] = []
+
+        def offer(op: MemOp, addr: int, exclusive: bool) -> None:
+            ops.append(op)
+            candidates.append(PrefetchCandidate(addr, exclusive=exclusive, tag=op.tag))
+
+        # store buffer entries not yet allowed to issue
+        for op in self.store_buffer:
+            if (op.state is MemState.IN_SB and not op.prefetch_issued
+                    and not self.cache.config.is_uncached(op.addr)):
+                offer(op, op.addr, exclusive=True)
+        # delayed (not yet issued) loads at the issue stage
+        for op in self.ready_loads:
+            if not op.prefetch_issued:
+                offer(op, op.addr, exclusive=False)
+        # reservation-station (and address-unit) entries whose addresses
+        # are computable via instruction-stream lookahead
+        scan = [self.addr_unit[0]] if self.addr_unit is not None else []
+        scan.extend(self.rs)
+        for op in scan:
+            if op.prefetch_issued or op.is_sw_prefetch:
+                continue
+            base = op.base.resolve(self.rob)
+            if base is None:
+                continue
+            offer(op, base + op.offset, exclusive=op.klass.is_store)
+        return ops, candidates
+
+    # ------------------------------------------------------------------
+    # Retirement support
+    # ------------------------------------------------------------------
+    def may_retire(self, entry: RobEntry) -> bool:
+        op = self.pending.get(entry.seq)
+        slb_clear = self.slb is None or self.slb.is_cleared(entry.seq)
+        if entry.instr.is_load and not entry.instr.is_rmw:
+            return entry.done and slb_clear
+        if entry.instr.is_rmw:
+            return op is None and entry.done and slb_clear  # performed
+        # plain store
+        if op is None:
+            return True  # already performed
+        if op.state not in (MemState.IN_SB, MemState.SB_ISSUED):
+            return False  # address not translated yet
+        if not op.signalled:
+            return False
+        if self.model.name in ("SC",):
+            # SC: the store at the head is not retired until it completes
+            return op.performed
+        return True
+
+    def is_empty(self) -> bool:
+        return (not self.rs and self.addr_unit is None and not self.ready_loads
+                and not self.store_buffer and not self.pending
+                and (self.slb is None or self.slb.empty))
+
+    def snapshot(self) -> Dict[str, List[str]]:
+        """Buffer contents for Figure 5-style traces."""
+        out = {
+            "rs": [op.tag for op in self.rs],
+            "store_buffer": [op.tag for op in self.store_buffer],
+        }
+        if self.slb is not None:
+            out["slb"] = [e.describe() for e in self.slb.entries()]
+        return out

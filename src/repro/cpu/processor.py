@@ -1,0 +1,288 @@
+"""The dynamically scheduled processor (paper, Figure 3).
+
+A Johnson-style out-of-order core: instructions are fetched and decoded
+in program order, renamed through the reorder buffer, dispatched to
+per-unit reservation stations, executed out of order, and retired in
+order.  Conditional branches are predicted and executed past; the
+rollback machinery that repairs mispredictions is reused verbatim for
+speculative-load corrections — which is the paper's central
+implementation argument (Section 4.2: "the correction mechanism for the
+branch prediction machinery can easily be extended to handle correction
+for speculative load accesses").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..isa.instructions import (
+    Alu,
+    Branch,
+    Halt,
+    Instruction,
+    Jump,
+    Load,
+    Nop,
+    Rmw,
+    SoftwarePrefetch,
+    Store,
+)
+from ..isa.program import Program
+from ..isa.registers import RegisterFile
+from ..memory.cache import LockupFreeCache
+from ..sim.kernel import Component, Simulator
+from ..sim.trace import NullTraceRecorder, TraceRecorder
+from .branch import BranchPredictor
+from .config import ProcessorConfig
+from .lsu import LoadStoreUnit
+from .rob import Operand, ReorderBuffer, RobEntry
+from .units import AluUnit, BranchUnit
+
+
+class Processor(Component):
+    """One core executing one program against its coherent cache."""
+
+    def __init__(
+        self,
+        cpu_id: int,
+        sim: Simulator,
+        program: Program,
+        cache: LockupFreeCache,
+        config: Optional[ProcessorConfig] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.cpu_id = cpu_id
+        self.sim = sim
+        self.program = program
+        self.config = config or ProcessorConfig()
+        self.trace = trace or NullTraceRecorder()
+        self.name = f"cpu{cpu_id}"
+
+        self.regfile = RegisterFile()
+        self.rob = ReorderBuffer(self.config.rob_size)
+        self.predictor = BranchPredictor(self.config.dynamic_branch_prediction)
+        self.alu_unit = AluUnit(self.rob, self.config.alu_rs_size,
+                                self.config.alu_count, self._on_alu_complete)
+        self.branch_unit = BranchUnit(self.rob, self.config.alu_rs_size,
+                                      self._on_branch_resolve)
+        self.lsu = LoadStoreUnit(cpu_id, sim, cache, self.rob, self.config,
+                                 trace=self.trace)
+        self.lsu.request_squash = self.squash_from
+
+        self.pc = 0
+        self._next_seq = 0
+        self.fetch_halted = False   # a Halt has been fetched (maybe speculatively)
+        self.finished = False       # the Halt has retired: program truly done
+
+        s = sim.stats
+        self.stat_retired = s.counter(f"{self.name}/instructions_retired")
+        self.stat_decoded = s.counter(f"{self.name}/instructions_decoded")
+        self.stat_squashed = s.counter(f"{self.name}/instructions_squashed")
+        self.stat_squashes = s.counter(f"{self.name}/squash_events")
+        self.stat_mispredicts = s.counter(f"{self.name}/branch_mispredicts")
+
+    # ------------------------------------------------------------------
+    # Per-cycle pipeline (reverse dataflow order)
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        if self.finished:
+            # the program has retired, but stores already signalled may
+            # still be draining from the store buffer (RC/WC/PC)
+            self.lsu.tick(cycle)
+            return
+        self._retire(cycle)
+        self.lsu.tick(cycle)
+        self.branch_unit.tick(cycle)
+        self.alu_unit.tick(cycle)
+        self._decode(cycle)
+
+    def is_quiescent(self) -> bool:
+        return self.finished and self.lsu.is_empty()
+
+    # ------------------------------------------------------------------
+    # Retirement
+    # ------------------------------------------------------------------
+    def _retire(self, cycle: int) -> None:
+        for _ in range(self.config.width):
+            head = self.rob.head()
+            if head is None:
+                return
+            instr = head.instr
+            if isinstance(instr, (Store, Rmw)) and not head.signalled:
+                head.signalled = True
+                self.lsu.signal_store(head.seq)
+            if instr.is_memory:
+                if not self.lsu.may_retire(head):
+                    return
+            elif not head.done:
+                return
+            self.rob.retire_head()
+            self.stat_retired.inc()
+            if head.dst is not None and head.value is not None:
+                self.regfile.write(head.dst, head.value)
+            if isinstance(instr, Halt):
+                self.finished = True
+                self.trace.record(cycle, self.name, "finished")
+                return
+
+    # ------------------------------------------------------------------
+    # Decode / rename / dispatch
+    # ------------------------------------------------------------------
+    def _operand(self, reg: str) -> Operand:
+        if reg == "r0":
+            return Operand(value=0)
+        producer = self.rob.rename_of(reg)
+        if producer is None:
+            return Operand(value=self.regfile.read(reg))
+        value = self.rob.value_of(producer)
+        if value is not None:
+            return Operand(value=value)
+        return Operand(producer=producer)
+
+    def _decode(self, cycle: int) -> None:
+        for _ in range(self.config.width):
+            if self.fetch_halted or self.rob.full:
+                return
+            instr = self.program.at(self.pc)
+            if instr is None:
+                self.fetch_halted = True
+                return
+            if not self._dispatch(instr, cycle):
+                return
+
+    def _dispatch(self, instr: Instruction, cycle: int) -> bool:
+        """Decode one instruction; False when a structural stall occurs."""
+        seq = self._next_seq
+        pc = self.pc
+
+        if isinstance(instr, Halt):
+            entry = RobEntry(seq=seq, pc=pc, instr=instr, dst=None, done=True)
+            self.rob.allocate(entry)
+            self.fetch_halted = True
+            self._advance(seq, pc + 1)
+            return False
+
+        if isinstance(instr, Nop):
+            entry = RobEntry(seq=seq, pc=pc, instr=instr, dst=None, done=True)
+            self.rob.allocate(entry)
+            self._advance(seq, pc + 1)
+            return True
+
+        if isinstance(instr, Jump):
+            entry = RobEntry(seq=seq, pc=pc, instr=instr, dst=None, done=True)
+            self.rob.allocate(entry)
+            self._advance(seq, self.program.target_pc(instr.target))
+            return True
+
+        if isinstance(instr, Alu):
+            if self.alu_unit.rs_full:
+                return False
+            operands = [self._operand(instr.src1)]
+            if instr.src2 is not None:
+                operands.append(self._operand(instr.src2))
+            entry = RobEntry(seq=seq, pc=pc, instr=instr, dst=instr.dst)
+            self.rob.allocate(entry)
+            self.alu_unit.dispatch(entry, operands)
+            self._advance(seq, pc + 1)
+            return True
+
+        if isinstance(instr, Branch):
+            if self.branch_unit.rs_full:
+                return False
+            operand = self._operand(instr.cond)
+            taken = self.predictor.predict(pc, instr)
+            target = self.program.target_pc(instr.target)
+            next_pc = target if taken else pc + 1
+            entry = RobEntry(seq=seq, pc=pc, instr=instr, dst=None,
+                             predicted_taken=taken, predicted_next_pc=next_pc)
+            self.rob.allocate(entry)
+            self.branch_unit.dispatch(entry, [operand])
+            self._advance(seq, next_pc)
+            return True
+
+        if isinstance(instr, SoftwarePrefetch):
+            if self.lsu.rs_full:
+                return False
+            entry = RobEntry(seq=seq, pc=pc, instr=instr, dst=None)
+            self.rob.allocate(entry)
+            self.lsu.dispatch(entry, self._operand(instr.base), None)
+            self._advance(seq, pc + 1)
+            return True
+
+        if isinstance(instr, (Load, Store, Rmw)):
+            if self.lsu.rs_full:
+                return False
+            base = self._operand(instr.base)
+            data: Optional[Operand] = None
+            if isinstance(instr, (Store, Rmw)):
+                data = self._operand(instr.src)
+            dst = instr.dst if isinstance(instr, (Load, Rmw)) else None
+            entry = RobEntry(seq=seq, pc=pc, instr=instr, dst=dst)
+            self.rob.allocate(entry)
+            self.lsu.dispatch(entry, base, data)
+            self._advance(seq, pc + 1)
+            return True
+
+        raise TypeError(f"cannot dispatch {instr!r}")  # pragma: no cover
+
+    def _advance(self, seq: int, next_pc: int) -> None:
+        self._next_seq = seq + 1
+        self.pc = next_pc
+        self.stat_decoded.inc()
+
+    # ------------------------------------------------------------------
+    # Completions
+    # ------------------------------------------------------------------
+    def _on_alu_complete(self, entry: RobEntry, value: int) -> None:
+        self.rob.mark_done(entry.seq, value)
+
+    def _on_branch_resolve(self, entry: RobEntry, taken: bool) -> None:
+        instr = entry.instr
+        assert isinstance(instr, Branch)
+        actual_next = (self.program.target_pc(instr.target) if taken
+                       else entry.pc + 1)
+        entry.resolved_next_pc = actual_next
+        self.rob.mark_done(entry.seq, None)
+        mispredicted = actual_next != entry.predicted_next_pc
+        self.predictor.update(entry.pc, instr, taken, mispredicted)
+        if mispredicted:
+            self.stat_mispredicts.inc()
+            self.trace.record(self.sim.cycle, self.name, "mispredict",
+                              pc=entry.pc, taken=taken)
+            self.squash_from(entry.seq + 1, actual_next, "branch mispredict")
+
+    # ------------------------------------------------------------------
+    # Rollback — shared by branches and speculative loads
+    # ------------------------------------------------------------------
+    def squash_from(self, seq: int, refetch_pc: int, reason: str) -> None:
+        """Discard ROB entry ``seq`` and everything younger, clear all
+        buffers of the discarded work, and restart fetch at
+        ``refetch_pc`` (Section 4.2's correction mechanism)."""
+        discarded = self.rob.squash_from(seq)
+        if not discarded and self.pc == refetch_pc:
+            return
+        squashed: Set[int] = set(discarded)
+        self.alu_unit.squash(squashed)
+        self.branch_unit.squash(squashed)
+        self.lsu.squash(squashed)
+        self.pc = refetch_pc
+        self.fetch_halted = False
+        self.finished = False
+        self.stat_squashes.inc()
+        self.stat_squashed.inc(len(squashed))
+        self.trace.record(self.sim.cycle, self.name, "squash",
+                          count=len(squashed), refetch_pc=refetch_pc, reason=reason)
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.finished
+
+    def snapshot(self) -> Dict[str, object]:
+        """Buffer contents for Figure 5-style traces."""
+        out: Dict[str, object] = {
+            "rob": [e.describe() for e in self.rob.entries()],
+            "pc": self.pc,
+        }
+        out.update(self.lsu.snapshot())
+        return out

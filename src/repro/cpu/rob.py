@@ -1,0 +1,160 @@
+"""Reorder buffer with ROB-based register renaming.
+
+The reorder buffer (Smith & Pleszkun) is the keystone of the paper's
+example implementation (Section 4.2): it renames registers, holds
+uncommitted results so conditional branches (and speculative loads!)
+can be rolled back, retires instructions in program order for precise
+interrupts, and *signals the store buffer* when a store reaches the
+head — which is how consistency constraints on stores are enforced.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..isa.instructions import Instruction, destination_register
+from ..sim.errors import SimulationError
+
+
+@dataclass
+class Operand:
+    """A source operand: either an immediate value or a ROB tag."""
+
+    value: Optional[int] = None
+    producer: Optional[int] = None  # seq of the producing ROB entry
+
+    def resolve(self, rob: "ReorderBuffer") -> Optional[int]:
+        """The operand's value, or ``None`` if still being produced."""
+        if self.value is not None:
+            return self.value
+        assert self.producer is not None
+        return rob.value_of(self.producer)
+
+    def describe(self) -> str:
+        if self.value is not None:
+            return str(self.value)
+        return f"tag#{self.producer}"
+
+
+@dataclass
+class RobEntry:
+    seq: int
+    pc: int
+    instr: Instruction
+    dst: Optional[str]
+    value: Optional[int] = None
+    done: bool = False
+    #: store/RMW: the reorder buffer has signalled the store buffer
+    signalled: bool = False
+    #: branches: prediction bookkeeping
+    predicted_taken: Optional[bool] = None
+    predicted_next_pc: Optional[int] = None
+    resolved_next_pc: Optional[int] = None
+
+    @property
+    def is_memory(self) -> bool:
+        return self.instr.is_memory
+
+    def describe(self) -> str:
+        return self.instr.describe() or f"pc={self.pc}"
+
+
+class ReorderBuffer:
+    """FIFO of in-flight instructions plus the rename table."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self._entries: "OrderedDict[int, RobEntry]" = OrderedDict()
+        self._rename: Dict[str, int] = {}
+        # values of recently retired producers, for operands captured
+        # before retirement; pruned periodically
+        self._retired_values: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.size
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def head(self) -> Optional[RobEntry]:
+        if not self._entries:
+            return None
+        return next(iter(self._entries.values()))
+
+    def get(self, seq: int) -> Optional[RobEntry]:
+        return self._entries.get(seq)
+
+    def entries(self) -> List[RobEntry]:
+        return list(self._entries.values())
+
+    # ------------------------------------------------------------------
+    # Rename / dispatch
+    # ------------------------------------------------------------------
+    def allocate(self, entry: RobEntry) -> None:
+        if self.full:
+            raise SimulationError("reorder buffer overflow (caller must check .full)")
+        self._entries[entry.seq] = entry
+        if entry.dst is not None and entry.dst != "r0":
+            self._rename[entry.dst] = entry.seq
+
+    def rename_of(self, reg: str) -> Optional[int]:
+        """The ROB tag currently producing ``reg``, if any."""
+        return self._rename.get(reg)
+
+    def value_of(self, seq: int) -> Optional[int]:
+        entry = self._entries.get(seq)
+        if entry is not None:
+            return entry.value if entry.done else None
+        return self._retired_values.get(seq)
+
+    def mark_done(self, seq: int, value: Optional[int] = None) -> None:
+        entry = self._entries.get(seq)
+        if entry is None:
+            return  # squashed while executing
+        entry.value = value
+        entry.done = True
+
+    # ------------------------------------------------------------------
+    # Retirement
+    # ------------------------------------------------------------------
+    def retire_head(self) -> RobEntry:
+        seq, entry = self._entries.popitem(last=False)
+        if entry.dst is not None and entry.value is not None:
+            self._retired_values[seq] = entry.value
+        if self._rename.get(entry.dst) == seq:
+            del self._rename[entry.dst]
+        if len(self._retired_values) > 65536:
+            cutoff = seq - 4 * self.size
+            self._retired_values = {
+                s: v for s, v in self._retired_values.items() if s >= cutoff
+            }
+        return entry
+
+    # ------------------------------------------------------------------
+    # Rollback
+    # ------------------------------------------------------------------
+    def squash_from(self, seq: int) -> List[int]:
+        """Discard entry ``seq`` and everything younger.
+
+        Returns the discarded seq numbers (ascending).  The rename table
+        is rebuilt from the survivors.
+        """
+        discarded = [s for s in self._entries if s >= seq]
+        for s in discarded:
+            del self._entries[s]
+        self._rename = {}
+        for entry in self._entries.values():
+            if entry.dst is not None and entry.dst != "r0":
+                self._rename[entry.dst] = entry.seq
+        return discarded
+
+    def describe(self) -> str:
+        return " | ".join(e.describe() for e in self._entries.values())

@@ -1,0 +1,189 @@
+"""A tiny textual assembler for the ISA.
+
+Syntax (one instruction per line; ``#`` starts a comment)::
+
+    start:
+        ld      r1, 0x100           # plain load
+        ld.acq  r2, 0x200           # acquire load
+        ld      r3, 8(r1)           # base + offset
+        st      r1, 0x104
+        st.rel  r0, 0x200           # release store
+        rmw.ts  r4, 0x200 acq       # test&set, acquire
+        movi    r5, 42
+        add     r6, r5, r1
+        addi    r6, r5, 4
+        bnez    r6, start
+        beqz    r6, start !taken    # static predict-not-taken hint
+        jmp     start
+        nop
+        halt
+
+The assembler exists so workloads and tests can be written as readable
+text; the :class:`~repro.isa.program.ProgramBuilder` DSL remains the
+primary programmatic interface.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.errors import AssemblerError
+from .instructions import (
+    Alu,
+    Branch,
+    Halt,
+    Instruction,
+    Jump,
+    Load,
+    Nop,
+    Rmw,
+    SoftwarePrefetch,
+    Store,
+)
+from .program import Program
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.]*):$")
+_MEMREF_RE = re.compile(r"^(-?(?:0[xX][0-9a-fA-F]+|\d+))\((r\d+)\)$")
+
+
+def _parse_int(text: str, line_no: int, line: str) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError(line_no, line, f"expected an integer, got {text!r}") from None
+
+
+def _parse_memref(text: str, line_no: int, line: str) -> Tuple[str, int]:
+    """Parse ``addr`` or ``offset(base)`` into (base_reg, offset)."""
+    m = _MEMREF_RE.match(text)
+    if m:
+        return m.group(2), int(m.group(1), 0)
+    return "r0", _parse_int(text, line_no, line)
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [tok.strip() for tok in rest.split(",") if tok.strip()]
+
+
+def assemble(source: str) -> Program:
+    """Assemble ``source`` text into a :class:`Program`."""
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            name = label_match.group(1)
+            if name in labels:
+                raise AssemblerError(line_no, raw, f"duplicate label {name!r}")
+            labels[name] = len(instructions)
+            continue
+
+        # optional trailing static-prediction hint on branches
+        predict: Optional[bool] = None
+        if line.endswith("!taken"):
+            predict = False
+            line = line[: -len("!taken")].strip()
+        elif line.endswith("!fall"):
+            # legacy alias for !taken ("predict fall-through")
+            predict = False
+            line = line[: -len("!fall")].strip()
+        elif line.endswith("?taken"):
+            predict = True
+            line = line[: -len("?taken")].strip()
+
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+
+        try:
+            instructions.append(
+                _assemble_one(mnemonic, operands, predict, line_no, raw)
+            )
+        except AssemblerError:
+            raise
+        except Exception as exc:  # re-wrap ISA validation errors with location
+            raise AssemblerError(line_no, raw, str(exc)) from exc
+
+    return Program(instructions, labels)
+
+
+def _assemble_one(
+    mnemonic: str,
+    operands: List[str],
+    predict: Optional[bool],
+    line_no: int,
+    raw: str,
+) -> Instruction:
+    def need(n: int) -> None:
+        if len(operands) != n:
+            raise AssemblerError(line_no, raw, f"{mnemonic} expects {n} operands, got {len(operands)}")
+
+    if mnemonic in ("ld", "ld.acq"):
+        need(2)
+        base, offset = _parse_memref(operands[1], line_no, raw)
+        return Load(dst=operands[0], base=base, offset=offset, acquire=mnemonic.endswith(".acq"))
+
+    if mnemonic in ("st", "st.rel"):
+        need(2)
+        base, offset = _parse_memref(operands[1], line_no, raw)
+        return Store(src=operands[0], base=base, offset=offset, release=mnemonic.endswith(".rel"))
+
+    if mnemonic.startswith("rmw."):
+        op = mnemonic.split(".", 1)[1]
+        flags = [o for o in operands[2:] if o in ("acq", "rel")]
+        args = [o for o in operands if o not in ("acq", "rel")]
+        if len(args) < 2 or len(args) > 3:
+            raise AssemblerError(line_no, raw, f"rmw expects dst, memref[, src], got {operands!r}")
+        base, offset = _parse_memref(args[1], line_no, raw)
+        src = args[2] if len(args) == 3 else "r0"
+        return Rmw(dst=args[0], base=base, offset=offset, op=op, src=src,
+                   acquire="acq" in flags, release="rel" in flags)
+
+    if mnemonic in ("pf", "pf.x"):
+        need(1)
+        base, offset = _parse_memref(operands[0], line_no, raw)
+        return SoftwarePrefetch(base=base, offset=offset,
+                                exclusive=mnemonic.endswith(".x"))
+
+    if mnemonic == "movi":
+        need(2)
+        return Alu(op="mov", dst=operands[0], src1="r0", imm=_parse_int(operands[1], line_no, raw))
+
+    if mnemonic in ("add", "sub", "and", "or", "xor", "mul", "seq", "sne", "slt", "sgt"):
+        need(3)
+        return Alu(op=mnemonic, dst=operands[0], src1=operands[1], src2=operands[2])
+
+    if mnemonic in ("addi", "subi", "andi", "ori", "xori", "muli"):
+        need(3)
+        return Alu(op=mnemonic[:-1], dst=operands[0], src1=operands[1],
+                   imm=_parse_int(operands[2], line_no, raw))
+
+    if mnemonic == "bnez":
+        need(2)
+        return Branch(cond=operands[0], target=operands[1], when_nonzero=True,
+                      predict_taken=predict)
+
+    if mnemonic == "beqz":
+        need(2)
+        return Branch(cond=operands[0], target=operands[1], when_nonzero=False,
+                      predict_taken=predict)
+
+    if mnemonic == "jmp":
+        need(1)
+        return Jump(target=operands[0])
+
+    if mnemonic == "nop":
+        need(0)
+        return Nop()
+
+    if mnemonic == "halt":
+        need(0)
+        return Halt()
+
+    raise AssemblerError(line_no, raw, f"unknown mnemonic {mnemonic!r}")

@@ -1,0 +1,301 @@
+"""Programs: instruction sequences with labels, plus a builder DSL.
+
+A :class:`Program` is an immutable-ish list of instructions with a label
+table.  :class:`ProgramBuilder` offers a fluent API for constructing
+programs, including the synchronization macros the paper's examples use
+(``lock`` / ``unlock``) in both their realistic spin-loop form and the
+"optimistic" single-access form the paper's cycle arithmetic assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..sim.errors import IsaError
+from .instructions import (
+    Alu,
+    Branch,
+    Halt,
+    Instruction,
+    Jump,
+    Load,
+    Nop,
+    Rmw,
+    SoftwarePrefetch,
+    Store,
+)
+
+
+class Program:
+    """A finished program: instructions plus a label table."""
+
+    def __init__(self, instructions: Sequence[Instruction], labels: Optional[Dict[str, int]] = None):
+        self.instructions: List[Instruction] = list(instructions)
+        self.labels: Dict[str, int] = dict(labels or {})
+        self._validate()
+
+    def _validate(self) -> None:
+        n = len(self.instructions)
+        for name, pc in self.labels.items():
+            if not 0 <= pc <= n:
+                raise IsaError(f"label {name!r} points outside the program ({pc} of {n})")
+        for i, instr in enumerate(self.instructions):
+            target = getattr(instr, "target", None)
+            if target is not None and target not in self.labels:
+                raise IsaError(f"instruction {i} ({instr.describe()}) targets unknown label {target!r}")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def at(self, pc: int) -> Optional[Instruction]:
+        """Instruction at ``pc``, or ``None`` past the end."""
+        if 0 <= pc < len(self.instructions):
+            return self.instructions[pc]
+        return None
+
+    def target_pc(self, label: str) -> int:
+        if label not in self.labels:
+            raise IsaError(f"unknown label {label!r}")
+        return self.labels[label]
+
+    def memory_instructions(self) -> List[Instruction]:
+        return [i for i in self.instructions if i.is_memory]
+
+    def describe(self) -> str:
+        pc_labels: Dict[int, List[str]] = {}
+        for name, pc in self.labels.items():
+            pc_labels.setdefault(pc, []).append(name)
+        lines: List[str] = []
+        for pc, instr in enumerate(self.instructions):
+            for name in pc_labels.get(pc, []):
+                lines.append(f"{name}:")
+            lines.append(f"  {pc:>3}  {instr.describe()}")
+        return "\n".join(lines)
+
+
+class ProgramBuilder:
+    """Fluent builder for :class:`Program`.
+
+    Example::
+
+        prog = (
+            ProgramBuilder()
+            .acquire_load("r1", addr=LOCK, tag="lock L")
+            .store_imm(1, addr=A, tag="write A")
+            .store_imm(1, addr=B, tag="write B")
+            .release_store_imm(0, addr=LOCK, tag="unlock L")
+            .halt()
+            .build()
+        )
+    """
+
+    #: scratch registers reserved by the macros; user code should avoid them.
+    SCRATCH = ("r30", "r31")
+
+    def __init__(self) -> None:
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._auto_label = 0
+
+    # ------------------------------------------------------------------
+    # Core emitters
+    # ------------------------------------------------------------------
+    def emit(self, instr: Instruction) -> "ProgramBuilder":
+        self._instructions.append(instr)
+        return self
+
+    def label(self, name: str) -> "ProgramBuilder":
+        if name in self._labels:
+            raise IsaError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+        return self
+
+    def _fresh_label(self, hint: str) -> str:
+        self._auto_label += 1
+        return f"__{hint}_{self._auto_label}"
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def load(self, dst: str, *, base: str = "r0", addr: int = 0,
+             acquire: bool = False, tag: Optional[str] = None) -> "ProgramBuilder":
+        """Load ``MEM[regs[base] + addr]`` into ``dst``."""
+        return self.emit(Load(dst=dst, base=base, offset=addr, acquire=acquire, tag=tag))
+
+    def acquire_load(self, dst: str, *, base: str = "r0", addr: int = 0,
+                     tag: Optional[str] = None) -> "ProgramBuilder":
+        return self.load(dst, base=base, addr=addr, acquire=True, tag=tag)
+
+    def store(self, src: str, *, base: str = "r0", addr: int = 0,
+              release: bool = False, tag: Optional[str] = None) -> "ProgramBuilder":
+        return self.emit(Store(src=src, base=base, offset=addr, release=release, tag=tag))
+
+    def store_imm(self, value: int, *, base: str = "r0", addr: int = 0,
+                  release: bool = False, tag: Optional[str] = None) -> "ProgramBuilder":
+        """Store an immediate: materialize into a scratch register, then store."""
+        scratch = self.SCRATCH[0]
+        self.mov_imm(scratch, value)
+        return self.store(scratch, base=base, addr=addr, release=release, tag=tag)
+
+    def release_store(self, src: str, *, base: str = "r0", addr: int = 0,
+                      tag: Optional[str] = None) -> "ProgramBuilder":
+        return self.store(src, base=base, addr=addr, release=True, tag=tag)
+
+    def release_store_imm(self, value: int, *, base: str = "r0", addr: int = 0,
+                          tag: Optional[str] = None) -> "ProgramBuilder":
+        return self.store_imm(value, base=base, addr=addr, release=True, tag=tag)
+
+    def software_prefetch(self, *, base: str = "r0", addr: int = 0,
+                          exclusive: bool = False,
+                          tag: Optional[str] = None) -> "ProgramBuilder":
+        """Emit a software non-binding prefetch (read or read-exclusive)."""
+        return self.emit(SoftwarePrefetch(base=base, offset=addr,
+                                          exclusive=exclusive, tag=tag))
+
+    def rmw(self, dst: str, *, base: str = "r0", addr: int = 0, op: str = "ts",
+            src: str = "r0", acquire: bool = False, release: bool = False,
+            tag: Optional[str] = None) -> "ProgramBuilder":
+        return self.emit(Rmw(dst=dst, base=base, offset=addr, op=op, src=src,
+                             acquire=acquire, release=release, tag=tag))
+
+    # ------------------------------------------------------------------
+    # Compute and control
+    # ------------------------------------------------------------------
+    def alu(self, op: str, dst: str, src1: str, src2: Optional[str] = None,
+            imm: Optional[int] = None, latency: int = 1,
+            tag: Optional[str] = None) -> "ProgramBuilder":
+        return self.emit(Alu(op=op, dst=dst, src1=src1, src2=src2, imm=imm,
+                             latency=latency, tag=tag))
+
+    def mov_imm(self, dst: str, value: int, tag: Optional[str] = None) -> "ProgramBuilder":
+        return self.emit(Alu(op="mov", dst=dst, src1="r0", imm=value, tag=tag))
+
+    def add(self, dst: str, src1: str, src2: str, tag: Optional[str] = None) -> "ProgramBuilder":
+        return self.alu("add", dst, src1, src2=src2, tag=tag)
+
+    def add_imm(self, dst: str, src1: str, imm: int, tag: Optional[str] = None) -> "ProgramBuilder":
+        return self.alu("add", dst, src1, imm=imm, tag=tag)
+
+    def branch_nonzero(self, cond: str, target: str, predict_taken: Optional[bool] = None,
+                       tag: Optional[str] = None) -> "ProgramBuilder":
+        return self.emit(Branch(cond=cond, target=target, when_nonzero=True,
+                                predict_taken=predict_taken, tag=tag))
+
+    def branch_zero(self, cond: str, target: str, predict_taken: Optional[bool] = None,
+                    tag: Optional[str] = None) -> "ProgramBuilder":
+        return self.emit(Branch(cond=cond, target=target, when_nonzero=False,
+                                predict_taken=predict_taken, tag=tag))
+
+    def jump(self, target: str, tag: Optional[str] = None) -> "ProgramBuilder":
+        return self.emit(Jump(target=target, tag=tag))
+
+    def nop(self, count: int = 1) -> "ProgramBuilder":
+        for _ in range(count):
+            self.emit(Nop())
+        return self
+
+    def halt(self) -> "ProgramBuilder":
+        return self.emit(Halt())
+
+    # ------------------------------------------------------------------
+    # Synchronization macros
+    # ------------------------------------------------------------------
+    def lock(self, *, addr: int, tag: Optional[str] = None) -> "ProgramBuilder":
+        """A realistic test-and-set spin lock.
+
+        The exit path is statically predicted (``predict_taken=False`` on
+        the retry branch), matching the paper's assumption that "the
+        branch predictor takes the path that assumes the lock
+        synchronization succeeds", which is what lets hardware lookahead
+        reach the accesses inside the critical section early.
+        """
+        scratch = self.SCRATCH[1]
+        spin = self._fresh_label("spin")
+        self.label(spin)
+        self.rmw(scratch, addr=addr, op="ts", acquire=True, tag=tag or f"lock@{addr}")
+        self.branch_nonzero(scratch, spin, predict_taken=False,
+                            tag=(tag or f"lock@{addr}") + " retry?")
+        return self
+
+    def lock_optimistic(self, *, addr: int, tag: Optional[str] = None) -> "ProgramBuilder":
+        """The paper's abstract lock: a single acquire access that succeeds.
+
+        Sections 3.3 and 4.1 count the lock as one 100-cycle access that
+        gains exclusive ownership of the lock line (which is why the
+        later unlock hits).  This macro emits exactly one acquire
+        test-and-set with no retry loop — the paper's "we assume ...
+        the lock synchronizations succeed (i.e., the lock is free)".
+        """
+        scratch = self.SCRATCH[1]
+        return self.rmw(scratch, addr=addr, op="ts", acquire=True,
+                        tag=tag or f"lock@{addr}")
+
+    def unlock(self, *, addr: int, tag: Optional[str] = None) -> "ProgramBuilder":
+        """Release the lock: a release store of zero."""
+        return self.release_store_imm(0, addr=addr, tag=tag or f"unlock@{addr}")
+
+    #: additional scratch registers used by the barrier macro
+    BARRIER_SCRATCH = ("r24", "r25", "r26", "r27", "r28")
+
+    def barrier(self, *, count_addr: int, gen_addr: int, num_cpus: int,
+                tag: Optional[str] = None) -> "ProgramBuilder":
+        """A centralized sense-reversing barrier.
+
+        Arrivals fetch-and-add a shared counter; the last arrival
+        resets the counter and bumps a generation word with a release
+        store, which the waiters observe with acquire loads.  Uses the
+        ``BARRIER_SCRATCH`` registers.
+        """
+        name = tag or f"barrier@{count_addr}"
+        r_gen, r_newgen, r_cmp, r_one, r_old = self.BARRIER_SCRATCH
+        wait = self._fresh_label("bar_wait")
+        last = self._fresh_label("bar_last")
+        end = self._fresh_label("bar_end")
+
+        self.load(r_gen, addr=gen_addr, tag=f"{name} gen")
+        self.mov_imm(r_one, 1)
+        self.rmw(r_old, addr=count_addr, op="add", src=r_one,
+                 acquire=True, tag=f"{name} arrive")
+        self.alu("seq", r_cmp, r_old, imm=num_cpus - 1)
+        self.branch_nonzero(r_cmp, last, predict_taken=False,
+                            tag=f"{name} last?")
+        self.label(wait)
+        self.acquire_load(r_newgen, addr=gen_addr, tag=f"{name} poll")
+        self.alu("sne", r_cmp, r_newgen, src2=r_gen)
+        self.branch_zero(r_cmp, wait, predict_taken=False,
+                         tag=f"{name} spin")
+        self.jump(end)
+        self.label(last)
+        self.store("r0", addr=count_addr, tag=f"{name} reset")
+        self.add_imm(r_newgen, r_gen, 1)
+        self.release_store(r_newgen, addr=gen_addr, tag=f"{name} release")
+        self.label(end)
+        return self
+
+    def spin_until_set(self, *, addr: int, tag: Optional[str] = None) -> "ProgramBuilder":
+        """Spin on a flag until it becomes non-zero (an acquire idiom)."""
+        scratch = self.SCRATCH[1]
+        spin = self._fresh_label("flagspin")
+        self.label(spin)
+        self.acquire_load(scratch, addr=addr, tag=tag or f"spin@{addr}")
+        self.branch_zero(scratch, spin, predict_taken=False,
+                         tag=(tag or f"spin@{addr}") + " retry?")
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self, append_halt: bool = True) -> Program:
+        instrs = list(self._instructions)
+        if append_halt and (not instrs or not isinstance(instrs[-1], Halt)):
+            instrs.append(Halt())
+        return Program(instrs, self._labels)
+
+
+def program_from_instructions(accesses: Iterable[Instruction]) -> Program:
+    """Convenience: a program from bare instructions plus a final Halt."""
+    b = ProgramBuilder()
+    for instr in accesses:
+        b.emit(instr)
+    return b.build()

@@ -1,0 +1,26 @@
+"""Memory system: lockup-free caches, interconnect, shared types."""
+
+from .cache import CacheLine, LockupFreeCache, MshrEntry
+from .interconnect import Interconnect, constant_latency
+from .types import (
+    AccessKind,
+    AccessRequest,
+    CacheConfig,
+    LatencyConfig,
+    LineState,
+    SnoopKind,
+)
+
+__all__ = [
+    "AccessKind",
+    "AccessRequest",
+    "CacheConfig",
+    "CacheLine",
+    "Interconnect",
+    "LatencyConfig",
+    "LineState",
+    "LockupFreeCache",
+    "MshrEntry",
+    "SnoopKind",
+    "constant_latency",
+]

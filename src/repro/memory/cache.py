@@ -1,0 +1,574 @@
+"""Lockup-free (non-blocking) coherent cache.
+
+Models the per-processor cache the paper requires (Section 3.2 / 4.1):
+
+* **lockup-free** (Kroft): misses allocate MSHRs and the cache keeps
+  accepting requests while misses are outstanding;
+* **request merging**: a demand reference to a line with an outstanding
+  prefetch (or miss) is combined with it, "so that a duplicate request
+  is not sent out and the reference completes as soon as the prefetch
+  result returns";
+* **snoop notification**: invalidations, updates, and replacements are
+  forwarded to registered listeners — this is the detection mechanism
+  of the speculative-load buffer;
+* **non-binding prefetch**: ``prefetch()`` brings a line in read-shared
+  or exclusive state without binding any register value.
+
+The cache is one endpoint of the interconnect; the directory is the
+other.  Coherence protocol details live in ``repro.coherence``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..coherence.messages import DIRECTORY_NODE, Message, MessageKind, NodeId
+from ..sim.errors import ProtocolError
+from ..sim.kernel import Simulator
+from ..sim.trace import NullTraceRecorder, TraceRecorder
+from .interconnect import Interconnect
+from .types import (
+    AccessKind,
+    AccessRequest,
+    CacheConfig,
+    LineState,
+    SnoopKind,
+    SnoopListener,
+)
+
+
+@dataclass
+class CacheLine:
+    line_addr: int
+    state: LineState
+    data: List[int]
+    lru: int = 0
+
+
+@dataclass
+class MshrEntry:
+    """One outstanding miss (or prefetch) for a line."""
+
+    line_addr: int
+    exclusive: bool
+    prefetch_only: bool
+    waiters: List[AccessRequest] = field(default_factory=list)
+    #: demand stores that arrived while a *shared* miss was in flight;
+    #: they trigger a second, exclusive transaction once the fill lands.
+    pending_exclusive: List[AccessRequest] = field(default_factory=list)
+    #: an exclusive *prefetch* arrived while this shared miss was in
+    #: flight (e.g. a speculative load read the line first): upgrade to
+    #: ownership as soon as the fill lands
+    upgrade_after_fill: bool = False
+    issued_cycle: int = 0
+
+
+class LockupFreeCache:
+    """A single processor's coherent, non-blocking cache."""
+
+    def __init__(
+        self,
+        node: NodeId,
+        sim: Simulator,
+        net: Interconnect,
+        config: Optional[CacheConfig] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.node = node
+        self.sim = sim
+        self.net = net
+        self.config = config or CacheConfig()
+        self.trace = trace or NullTraceRecorder()
+        self._sets: List[List[CacheLine]] = [[] for _ in range(self.config.num_sets)]
+        self.mshrs: Dict[int, MshrEntry] = {}
+        self._snoop_listeners: List[SnoopListener] = []
+        self._lru_clock = 0
+        self._port_cycle = -1
+        self._port_used = 0
+        # lines whose writeback is in flight (awaiting WB_ACK)
+        self._writebacks: Dict[int, List[int]] = {}
+        # update-protocol write transactions in flight, keyed by txn id
+        self._update_txns: Dict[int, AccessRequest] = {}
+        # uncached operations in flight, keyed by txn id (Appendix A)
+        self._uncached_txns: Dict[int, AccessRequest] = {}
+        net.attach(node, self.receive)
+
+        s = sim.stats
+        prefix = f"cache{node}"
+        self.stat_hits = s.counter(f"{prefix}/hits")
+        self.stat_misses = s.counter(f"{prefix}/misses")
+        self.stat_merges = s.counter(f"{prefix}/mshr_merges")
+        self.stat_prefetches = s.counter(f"{prefix}/prefetches_issued")
+        self.stat_prefetch_discarded = s.counter(f"{prefix}/prefetches_discarded")
+        self.stat_prefetch_useful = s.counter(f"{prefix}/prefetches_useful")
+        self.stat_invals = s.counter(f"{prefix}/invals_received")
+        self.stat_updates = s.counter(f"{prefix}/updates_received")
+        self.stat_replacements = s.counter(f"{prefix}/replacements")
+        self.stat_writebacks = s.counter(f"{prefix}/writebacks")
+        self.stat_port_accesses = s.counter(f"{prefix}/port_accesses")
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def _find_line(self, line_addr: int) -> Optional[CacheLine]:
+        for line in self._sets[self.config.set_index(line_addr)]:
+            if line.line_addr == line_addr and line.state is not LineState.INVALID:
+                return line
+        return None
+
+    def line_state(self, addr: int) -> LineState:
+        """Coherence state of the line containing ``addr`` (probe; no port use)."""
+        line = self._find_line(self.config.line_addr(addr))
+        return line.state if line else LineState.INVALID
+
+    def has_mshr(self, addr: int) -> bool:
+        return self.config.line_addr(addr) in self.mshrs
+
+    def peek_word(self, addr: int) -> Optional[int]:
+        """Debug/test helper: current cached value of ``addr``, if present."""
+        line = self._find_line(self.config.line_addr(addr))
+        if line is None:
+            return None
+        return line.data[self.config.word_index(addr)]
+
+    def _touch(self, line: CacheLine) -> None:
+        self._lru_clock += 1
+        line.lru = self._lru_clock
+
+    # ------------------------------------------------------------------
+    # Port arbitration
+    # ------------------------------------------------------------------
+    def can_accept(self) -> bool:
+        """True if a CPU-side access may start this cycle."""
+        if self._port_cycle != self.sim.cycle:
+            return self.config.ports > 0
+        return self._port_used < self.config.ports
+
+    def _use_port(self) -> None:
+        if self._port_cycle != self.sim.cycle:
+            self._port_cycle = self.sim.cycle
+            self._port_used = 0
+        self._port_used += 1
+        self.stat_port_accesses.inc()
+
+    # ------------------------------------------------------------------
+    # Demand accesses
+    # ------------------------------------------------------------------
+    def access(self, req: AccessRequest) -> bool:
+        """Present a demand access.  Returns False if not accepted
+        (port busy or MSHRs exhausted); the caller retries next cycle."""
+        if not self.can_accept():
+            return False
+        if self.config.is_uncached(req.addr):
+            return self._uncached_access(req)
+        if self.config.protocol == "update" and req.kind is not AccessKind.LOAD:
+            return self._update_protocol_write(req)
+        line_addr = self.config.line_addr(req.addr)
+        line = self._find_line(line_addr)
+        mshr = self.mshrs.get(line_addr)
+        needs_excl = req.kind.needs_exclusive or req.exclusive_hint
+
+        # Hit with sufficient permission (and no pending transaction that
+        # will change the line under us in a way the access must wait for).
+        if line is not None and (line.state is LineState.MODIFIED
+                                 or (line.state is LineState.SHARED and not needs_excl)):
+            self._use_port()
+            self.stat_hits.inc()
+            self._touch(line)
+            req.issued_cycle = self.sim.cycle
+            self.sim.schedule(self.config.hit_latency,
+                              lambda: self._complete_access(req, line_addr),
+                              label=f"hit {req.tag or req.addr}")
+            return True
+
+        # Merge with an outstanding transaction for this line.
+        if mshr is not None:
+            self._use_port()
+            self.stat_merges.inc()
+            req.issued_cycle = self.sim.cycle
+            if mshr.prefetch_only:
+                mshr.prefetch_only = False
+                self.stat_prefetch_useful.inc()
+            if needs_excl and not mshr.exclusive:
+                mshr.pending_exclusive.append(req)
+            else:
+                mshr.waiters.append(req)
+            return True
+
+        if len(self.mshrs) >= self.config.mshr_entries:
+            return False
+
+        self._use_port()
+        self.stat_misses.inc()
+        req.issued_cycle = self.sim.cycle
+        entry = MshrEntry(
+            line_addr=line_addr,
+            exclusive=needs_excl,
+            prefetch_only=False,
+            issued_cycle=self.sim.cycle,
+        )
+        entry.waiters.append(req)
+        self.mshrs[line_addr] = entry
+        if needs_excl and line is not None and line.state is LineState.SHARED:
+            self._send(MessageKind.UPGRADE, line_addr)
+        else:
+            self._send(MessageKind.READX if needs_excl else MessageKind.READ, line_addr)
+        return True
+
+    def _uncached_access(self, req: AccessRequest) -> bool:
+        """Appendix A's non-cached locations: performed atomically at
+        the home node, never cached, never speculated or prefetched."""
+        self._use_port()
+        req.issued_cycle = self.sim.cycle
+        self._uncached_txns[req.req_id] = req
+        self._send(MessageKind.UNCACHED_OP,
+                   self.config.line_addr(req.addr),
+                   txn=req.req_id,
+                   addr=req.addr,
+                   value=req.value,
+                   uncached_kind=req.kind.value,
+                   rmw_op=req.rmw_op)
+        return True
+
+    def _on_uncached_done(self, msg: Message) -> None:
+        req = self._uncached_txns.pop(msg.txn, None)
+        if req is None:
+            raise ProtocolError(
+                f"cache{self.node}: UNCACHED_DONE for unknown txn {msg.txn}")
+        if req.callback is not None:
+            req.callback(req, msg.value if msg.value is not None else 0)
+
+    def _update_protocol_write(self, req: AccessRequest) -> bool:
+        """Store handling under the write-update protocol.
+
+        The new value is propagated to all sharers; the store completes
+        when the directory reports every copy updated (UPDATE_DONE).
+        This is exactly why read-exclusive prefetch cannot help writes
+        under update protocols: "it is difficult to partially service a
+        write operation without making the new value available to other
+        processors" (Section 3.2).
+        """
+        if req.kind is AccessKind.RMW:
+            raise ProtocolError("the update protocol model supports LOAD/STORE only; "
+                                "use flag-based synchronization or the invalidate protocol")
+        line_addr = self.config.line_addr(req.addr)
+        self._use_port()
+        req.issued_cycle = self.sim.cycle
+        txn = req.req_id
+        self._update_txns[txn] = req
+        self._send(MessageKind.UPDATE_WRITE, line_addr, txn=txn,
+                   addr=req.addr, value=req.value)
+        return True
+
+    def prefetch(self, addr: int, exclusive: bool) -> bool:
+        """Hardware non-binding prefetch (Section 3.2).
+
+        Checks the cache first; a prefetch for a line already present
+        with sufficient permission, or already outstanding, is
+        discarded.  Returns True if the port was consumed (i.e. a real
+        probe happened).
+        """
+        if not self.can_accept():
+            return False
+        if self.config.is_uncached(addr):
+            self._use_port()
+            self.stat_prefetch_discarded.inc()  # uncached: nothing to bring
+            return True
+        line_addr = self.config.line_addr(addr)
+        line = self._find_line(line_addr)
+        self._use_port()
+
+        sufficient = line is not None and (
+            line.state is LineState.MODIFIED
+            or (line.state is LineState.SHARED and not exclusive)
+        )
+        if sufficient:
+            self.stat_prefetch_discarded.inc()
+            return True
+        pending = self.mshrs.get(line_addr)
+        if pending is not None:
+            if exclusive and not pending.exclusive and not pending.pending_exclusive:
+                # a shared miss (e.g. from a speculative load) is in
+                # flight; upgrade to ownership once the fill lands so
+                # the delayed store still finds the line exclusive
+                pending.upgrade_after_fill = True
+                self.stat_prefetches.inc()
+            else:
+                self.stat_prefetch_discarded.inc()
+            return True
+        if len(self.mshrs) >= self.config.mshr_entries:
+            self.stat_prefetch_discarded.inc()
+            return True
+
+        self.stat_prefetches.inc()
+        entry = MshrEntry(
+            line_addr=line_addr,
+            exclusive=exclusive,
+            prefetch_only=True,
+            issued_cycle=self.sim.cycle,
+        )
+        self.mshrs[line_addr] = entry
+        if exclusive and line is not None and line.state is LineState.SHARED:
+            self._send(MessageKind.UPGRADE, line_addr)
+        else:
+            self._send(MessageKind.READX if exclusive else MessageKind.READ, line_addr)
+        self.trace.record(self.sim.cycle, f"cache{self.node}",
+                          "prefetch", line=line_addr, exclusive=exclusive)
+        return True
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _complete_access(self, req: AccessRequest, line_addr: int) -> None:
+        """Perform ``req`` against the (now present) line and call back."""
+        line = self._find_line(line_addr)
+        if line is None:
+            # The line was invalidated/replaced between hit detection and
+            # completion (possible with multi-cycle hit latency).  Re-run
+            # the access as a fresh miss.
+            self.sim.schedule(0, lambda: self._retry(req), label="hit-race retry")
+            return
+        widx = self.config.word_index(req.addr)
+        if req.kind is AccessKind.LOAD:
+            value = line.data[widx]
+        elif req.kind is AccessKind.STORE:
+            if line.state is not LineState.MODIFIED:
+                raise ProtocolError(f"store completing without ownership at {req.addr:#x}")
+            line.data[widx] = req.value
+            value = req.value
+        else:  # RMW
+            if line.state is not LineState.MODIFIED:
+                raise ProtocolError(f"rmw completing without ownership at {req.addr:#x}")
+            old = line.data[widx]
+            line.data[widx] = _rmw_new_value(req.rmw_op, old, req.value)
+            value = old
+        self._touch(line)
+        if req.callback is not None:
+            req.callback(req, value)
+
+    def _retry(self, req: AccessRequest) -> None:
+        if not self.access(req):
+            self.sim.schedule(1, lambda: self._retry(req), label="access retry")
+
+    # ------------------------------------------------------------------
+    # Message plumbing
+    # ------------------------------------------------------------------
+    def _send(self, kind: MessageKind, line_addr: int, **kw) -> None:
+        self.net.send(Message(kind=kind, src=self.node, dst=DIRECTORY_NODE,
+                              line_addr=line_addr, **kw))
+
+    def register_snoop_listener(self, listener: SnoopListener) -> None:
+        self._snoop_listeners.append(listener)
+
+    def _notify_snoop(self, kind: SnoopKind, line_addr: int) -> None:
+        for listener in self._snoop_listeners:
+            listener(kind, line_addr)
+
+    def receive(self, msg: Message) -> None:
+        handler = {
+            MessageKind.DATA: self._on_data,
+            MessageKind.DATA_EXCL: self._on_data_excl,
+            MessageKind.INVAL: self._on_inval,
+            MessageKind.RECALL: self._on_recall,
+            MessageKind.RECALL_INVAL: self._on_recall_inval,
+            MessageKind.UPDATE: self._on_update,
+            MessageKind.WB_ACK: self._on_wb_ack,
+            MessageKind.UPDATE_DONE: self._on_update_done,
+            MessageKind.UNCACHED_DONE: self._on_uncached_done,
+        }.get(msg.kind)
+        if handler is None:
+            raise ProtocolError(f"cache{self.node} cannot handle {msg.describe()}")
+        handler(msg)
+
+    # ------------------------------------------------------------------
+    # Fills
+    # ------------------------------------------------------------------
+    def _install(self, line_addr: int, state: LineState, data: List[int]) -> Optional[CacheLine]:
+        """Place a fill into the set, evicting if needed.
+
+        Returns the installed line, or ``None`` if no victim was
+        available this cycle (all ways have outstanding transactions);
+        the caller schedules a retry.
+        """
+        idx = self.config.set_index(line_addr)
+        cache_set = self._sets[idx]
+        for line in cache_set:
+            if line.line_addr == line_addr:
+                line.state = state
+                line.data = list(data)
+                self._touch(line)
+                return line
+        if len(cache_set) < self.config.assoc:
+            line = CacheLine(line_addr=line_addr, state=state, data=list(data))
+            self._touch(line)
+            cache_set.append(line)
+            return line
+        victims = [
+            l for l in cache_set
+            if l.line_addr not in self.mshrs and l.line_addr not in self._writebacks
+        ]
+        if not victims:
+            return None
+        victim = min(victims, key=lambda l: l.lru)
+        self._evict(victim)
+        victim.line_addr = line_addr
+        victim.state = state
+        victim.data = list(data)
+        self._touch(victim)
+        return victim
+
+    def _evict(self, line: CacheLine) -> None:
+        self.stat_replacements.inc()
+        self._notify_snoop(SnoopKind.REPLACEMENT, line.line_addr)
+        self.trace.record(self.sim.cycle, f"cache{self.node}", "evict",
+                          line=line.line_addr, state=line.state.value)
+        if line.state is LineState.MODIFIED:
+            self.stat_writebacks.inc()
+            self._writebacks[line.line_addr] = list(line.data)
+            self._send(MessageKind.WRITEBACK, line.line_addr, data=list(line.data))
+        line.state = LineState.INVALID
+
+    def _on_data(self, msg: Message) -> None:
+        entry = self.mshrs.get(msg.line_addr)
+        if entry is None:
+            raise ProtocolError(f"cache{self.node}: DATA with no MSHR for line {msg.line_addr:#x}")
+        line = self._install(msg.line_addr, LineState.SHARED, msg.data or [])
+        if line is None:
+            self.sim.schedule(1, lambda: self._on_data(msg), label="fill retry")
+            return
+        del self.mshrs[msg.line_addr]
+        waiters = entry.waiters
+        pending_excl = entry.pending_exclusive
+        for req in waiters:
+            self._complete_access(req, msg.line_addr)
+        if pending_excl or entry.upgrade_after_fill:
+            # Stores (or an exclusive prefetch) were merged onto a
+            # shared miss: start the exclusive transaction now
+            # (upgrade, since we just got an S copy).
+            new_entry = MshrEntry(
+                line_addr=msg.line_addr,
+                exclusive=True,
+                prefetch_only=not pending_excl,
+                issued_cycle=self.sim.cycle,
+            )
+            new_entry.waiters.extend(pending_excl)
+            self.mshrs[msg.line_addr] = new_entry
+            self._send(MessageKind.UPGRADE, msg.line_addr)
+
+    def _on_data_excl(self, msg: Message) -> None:
+        entry = self.mshrs.get(msg.line_addr)
+        if entry is None:
+            raise ProtocolError(f"cache{self.node}: DATA_EXCL with no MSHR for line {msg.line_addr:#x}")
+        if msg.data is not None:
+            data = msg.data
+        else:
+            # upgrade ack: keep the data we already have
+            existing = self._find_line(msg.line_addr)
+            if existing is None:
+                raise ProtocolError(
+                    f"cache{self.node}: upgrade ack for line {msg.line_addr:#x} not present"
+                )
+            data = existing.data
+        line = self._install(msg.line_addr, LineState.MODIFIED, data)
+        if line is None:
+            self.sim.schedule(1, lambda: self._on_data_excl(msg), label="fill retry")
+            return
+        del self.mshrs[msg.line_addr]
+        for req in entry.waiters + entry.pending_exclusive:
+            self._complete_access(req, msg.line_addr)
+
+    # ------------------------------------------------------------------
+    # Snoops
+    # ------------------------------------------------------------------
+    def _on_inval(self, msg: Message) -> None:
+        self.stat_invals.inc()
+        line = self._find_line(msg.line_addr)
+        if line is not None:
+            line.state = LineState.INVALID
+        self._notify_snoop(SnoopKind.INVALIDATION, msg.line_addr)
+        self.trace.record(self.sim.cycle, f"cache{self.node}", "inval", line=msg.line_addr)
+        self._send(MessageKind.INVAL_ACK, msg.line_addr, txn=msg.txn)
+
+    def _on_recall(self, msg: Message) -> None:
+        line = self._find_line(msg.line_addr)
+        if line is None or line.state is not LineState.MODIFIED:
+            # Raced with our own writeback; the directory will use the
+            # writeback data when it arrives.
+            self._send(MessageKind.RECALL_ACK, msg.line_addr, txn=msg.txn, data=None)
+            return
+        line.state = LineState.SHARED
+        self._send(MessageKind.RECALL_ACK, msg.line_addr, txn=msg.txn, data=list(line.data))
+
+    def _on_recall_inval(self, msg: Message) -> None:
+        line = self._find_line(msg.line_addr)
+        data: Optional[List[int]] = None
+        if line is not None:
+            if line.state is LineState.MODIFIED:
+                data = list(line.data)
+            line.state = LineState.INVALID
+        self._notify_snoop(SnoopKind.INVALIDATION, msg.line_addr)
+        self.trace.record(self.sim.cycle, f"cache{self.node}", "inval", line=msg.line_addr)
+        self._send(MessageKind.RECALL_ACK, msg.line_addr, txn=msg.txn, data=data)
+
+    def _on_update(self, msg: Message) -> None:
+        self.stat_updates.inc()
+        line = self._find_line(msg.line_addr)
+        if line is not None and msg.addr is not None:
+            line.data[self.config.word_index(msg.addr)] = msg.value
+        self._notify_snoop(SnoopKind.UPDATE, msg.line_addr)
+        self._send(MessageKind.UPDATE_ACK, msg.line_addr, txn=msg.txn)
+
+    def _on_wb_ack(self, msg: Message) -> None:
+        self._writebacks.pop(msg.line_addr, None)
+
+    def _on_update_done(self, msg: Message) -> None:
+        # Update-protocol write transaction finished: the store that
+        # initiated it completes now (globally performed).
+        req = self._update_txns.pop(msg.txn, None)
+        if req is None:
+            raise ProtocolError(
+                f"cache{self.node}: UPDATE_DONE for unknown txn {msg.txn}"
+            )
+        line = self._find_line(msg.line_addr)
+        if line is not None:
+            line.data[self.config.word_index(req.addr)] = req.value
+        if req.callback is not None:
+            req.callback(req, req.value if req.value is not None else 0)
+
+    # ------------------------------------------------------------------
+    def is_quiescent(self) -> bool:
+        return (not self.mshrs and not self._writebacks
+                and not self._update_txns and not self._uncached_txns)
+
+    def warm_install(self, line_addr: int, state: LineState, data: Optional[List[int]] = None) -> None:
+        """Pre-install a line for warm-start experiments (not a timed path).
+
+        The caller is responsible for keeping directory state consistent
+        (use :meth:`MemoryFabric.warm` which does both sides).
+        """
+        if data is None:
+            data = [0] * self.config.line_size
+        if len(data) != self.config.line_size:
+            raise ProtocolError("warm_install data must cover the whole line")
+        if self._install(line_addr, state, data) is None:
+            raise ProtocolError("warm_install could not find a victim way")
+
+    def contents(self) -> Dict[int, Tuple[str, List[int]]]:
+        """Snapshot {line_addr: (state, data)} of all valid lines."""
+        out: Dict[int, Tuple[str, List[int]]] = {}
+        for cache_set in self._sets:
+            for line in cache_set:
+                if line.state is not LineState.INVALID:
+                    out[line.line_addr] = (line.state.value, list(line.data))
+        return out
+
+
+def _rmw_new_value(op: Optional[str], old: int, operand: Optional[int]) -> int:
+    if op == "ts":
+        return 1
+    if op == "swap":
+        return operand if operand is not None else 0
+    if op == "add":
+        return old + (operand or 0)
+    raise ProtocolError(f"unknown rmw op {op!r}")

@@ -1,0 +1,124 @@
+"""Regenerate the full experiment report (``python -m repro.report``).
+
+Runs every experiment (E1–E10 plus the ablations) and prints the
+tables.  With ``--output FILE`` the report is also written to disk —
+this is how EXPERIMENTS.md's measured numbers are produced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, List, Tuple
+
+from .analysis import (
+    barrier_scaling_table,
+    cpu_scaling_table,
+    detailed_equalization_table,
+    false_sharing_table,
+    equalization_table,
+    example_cycle_table,
+    figure5_report,
+    hw_vs_sw_prefetch_table,
+    latency_sweep_table,
+    litmus_outcome_table,
+    lookahead_window_table,
+    prefetch_bandwidth_table,
+    protocol_table,
+    related_work_table,
+    rmw_handoff_table,
+    rob_size_table,
+    rollback_cost_table,
+    slb_size_table,
+    traffic_table,
+)
+
+
+def _figure5_table():
+    _, table = figure5_report()
+    return table
+
+
+class _RawText:
+    """Adapter so plain text can sit in a SECTIONS slot."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+
+    def render(self) -> str:
+        return self._text
+
+
+def _arc_matrices() -> _RawText:
+    from .analysis import delay_arc_matrix
+    from .consistency import ALL_MODELS
+
+    return _RawText("\n\n".join(delay_arc_matrix(m).render()
+                                for m in ALL_MODELS))
+
+
+SECTIONS: List[Tuple[str, Callable[[], object]]] = [
+    ("E1  Figure 1 / delay arcs", _arc_matrices),
+    ("E1  Figure 1 / litmus outcomes", litmus_outcome_table),
+    ("E2  Example 1 (analytical)", lambda: example_cycle_table("example1")),
+    ("E2  Example 1 (detailed)", lambda: example_cycle_table("example1", detailed=True)),
+    ("E3  Example 2 (analytical)", lambda: example_cycle_table("example2")),
+    ("E3  Example 2 (detailed)", lambda: example_cycle_table("example2", detailed=True)),
+    ("E4  Figure 5 rollback trace", _figure5_table),
+    ("E5  Equalization (analytical)", equalization_table),
+    ("E5  Equalization (detailed)", detailed_equalization_table),
+    ("E6  Miss-latency sweep", latency_sweep_table),
+    ("E7  Rollback cost", rollback_cost_table),
+    ("E8  Related work", related_work_table),
+    ("E9  RMW hand-off", rmw_handoff_table),
+    ("E10 Prefetch traffic", traffic_table),
+    ("A1  Lookahead window", lookahead_window_table),
+    ("A2  HW vs SW prefetch", hw_vs_sw_prefetch_table),
+    ("A3  SLB size", slb_size_table),
+    ("A4  ROB size", rob_size_table),
+    ("A5  Prefetch bandwidth", prefetch_bandwidth_table),
+    ("A6  Update vs invalidate protocol", protocol_table),
+    ("A7  False sharing vs speculation", false_sharing_table),
+    ("S1  CPU-count scaling", cpu_scaling_table),
+    ("S2  Barrier scaling", barrier_scaling_table),
+]
+
+
+def generate(selected: List[str], verbose: bool = True) -> str:
+    chunks: List[str] = []
+    for name, builder in SECTIONS:
+        if selected and not any(s.lower() in name.lower() for s in selected):
+            continue
+        start = time.time()
+        table = builder()
+        elapsed = time.time() - start
+        chunks.append(table.render())
+        if verbose:
+            print(f"[{elapsed:6.2f}s] {name}", file=sys.stderr)
+    return "\n\n".join(chunks)
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.report",
+        description="Regenerate the reproduction's experiment tables.",
+    )
+    parser.add_argument("sections", nargs="*",
+                        help="substring filters (e.g. 'E5' 'figure 5'); "
+                             "default: everything")
+    parser.add_argument("--output", "-o", help="also write the report here")
+    parser.add_argument("--quiet", "-q", action="store_true",
+                        help="suppress per-section progress on stderr")
+    args = parser.parse_args(argv)
+
+    report = generate(args.sections, verbose=not args.quiet)
+    print(report)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,105 @@
+"""Run assembly programs on the simulator (``python -m repro.run``).
+
+Takes one or more assembly files (one per processor), a consistency
+model, and technique flags; runs the multiprocessor to completion and
+prints cycles, per-CPU registers, and memory/statistics summaries.
+
+Example::
+
+    python -m repro.run producer.s consumer.s --model RC \
+        --prefetch --speculation --miss-latency 100 \
+        --init 0x80=0 --watch 0x40 --stats
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List
+
+from .consistency import get_model
+from .isa import assemble
+from .sim.trace import TraceRecorder
+from .system import run_workload
+
+
+def parse_init(pairs: List[str]) -> Dict[int, int]:
+    memory: Dict[int, int] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--init expects ADDR=VALUE, got {pair!r}")
+        addr_text, value_text = pair.split("=", 1)
+        memory[int(addr_text, 0)] = int(value_text, 0)
+    return memory
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.run",
+        description="Run assembly programs on the multiprocessor simulator.",
+    )
+    parser.add_argument("programs", nargs="+",
+                        help="assembly files, one per processor")
+    parser.add_argument("--model", default="SC",
+                        help="consistency model: SC, PC, WC, RC, RCsc")
+    parser.add_argument("--prefetch", action="store_true",
+                        help="enable hardware non-binding prefetch")
+    parser.add_argument("--speculation", action="store_true",
+                        help="enable speculative loads")
+    parser.add_argument("--miss-latency", type=int, default=100)
+    parser.add_argument("--max-cycles", type=int, default=1_000_000)
+    parser.add_argument("--init", action="append", default=[],
+                        metavar="ADDR=VALUE", help="initial memory word")
+    parser.add_argument("--watch", action="append", default=[],
+                        metavar="ADDR", help="print this word afterwards")
+    parser.add_argument("--regs", action="append", default=[],
+                        metavar="REG", help="registers to print (default r1-r8)")
+    parser.add_argument("--stats", action="store_true",
+                        help="dump the full statistics registry")
+    parser.add_argument("--summary", action="store_true",
+                        help="print the per-CPU digest (IPC, stalls, ...)")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the event trace")
+    args = parser.parse_args(argv)
+
+    programs = []
+    for path in args.programs:
+        with open(path) as fh:
+            programs.append(assemble(fh.read()))
+
+    trace = TraceRecorder() if args.trace else None
+    result = run_workload(
+        programs,
+        model=get_model(args.model),
+        prefetch=args.prefetch,
+        speculation=args.speculation,
+        miss_latency=args.miss_latency,
+        initial_memory=parse_init(args.init),
+        max_cycles=args.max_cycles,
+        trace=trace,
+    )
+
+    print(f"completed in {result.cycles} cycles "
+          f"(model={args.model.upper()}, prefetch={args.prefetch}, "
+          f"speculation={args.speculation})")
+    regs = args.regs or [f"r{i}" for i in range(1, 9)]
+    for cpu in range(len(programs)):
+        values = ", ".join(f"{r}={result.machine.reg(cpu, r)}" for r in regs)
+        print(f"cpu{cpu}: {values}")
+    for addr_text in args.watch:
+        addr = int(addr_text, 0)
+        print(f"MEM[{addr:#x}] = {result.machine.read_word(addr)}")
+    if args.trace and trace is not None:
+        print("--- trace ---")
+        print(trace.render())
+    if args.summary:
+        from .analysis.summary import summary_table
+        print(summary_table(result).render())
+    if args.stats:
+        from .sim.stats import format_stats_table
+        print(format_stats_table(result.stats.snapshot(), title="statistics"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""Simulation kernel: deterministic clock, events, components, stats, traces."""
+
+from .errors import (
+    AssemblerError,
+    ConfigurationError,
+    DeadlockError,
+    IsaError,
+    ProtocolError,
+    SimulationError,
+)
+from .events import Event, EventQueue
+from .kernel import Component, Simulator
+from .stats import Counter, Histogram, StatsRegistry, format_stats_table
+from .trace import NullTraceRecorder, TraceEvent, TraceRecorder
+
+__all__ = [
+    "AssemblerError",
+    "Component",
+    "ConfigurationError",
+    "Counter",
+    "DeadlockError",
+    "Event",
+    "EventQueue",
+    "Histogram",
+    "IsaError",
+    "NullTraceRecorder",
+    "ProtocolError",
+    "SimulationError",
+    "Simulator",
+    "StatsRegistry",
+    "TraceEvent",
+    "TraceRecorder",
+    "format_stats_table",
+]

@@ -1,0 +1,100 @@
+"""Discrete event queue used by the memory system.
+
+The processor pipeline is cycle-driven (each component has a ``tick``),
+but message deliveries and memory responses are naturally modelled as
+*events*: callbacks scheduled for a future cycle.  The queue is a binary
+heap keyed on ``(cycle, sequence)`` so that events scheduled for the same
+cycle fire in the order they were scheduled — this keeps simulations
+fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from .errors import ConfigurationError
+
+EventCallback = Callable[[], Any]
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`EventQueue.schedule` and may be
+    cancelled; a cancelled event is skipped when its cycle arrives.
+    """
+
+    __slots__ = ("cycle", "seq", "callback", "cancelled", "label")
+
+    def __init__(self, cycle: int, seq: int, callback: EventCallback, label: str) -> None:
+        self.cycle = cycle
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event {self.label or self.callback!r} @cycle {self.cycle} ({state})>"
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Event]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for _, _, ev in self._heap if not ev.cancelled)
+
+    def schedule(self, cycle: int, callback: EventCallback, label: str = "") -> Event:
+        """Schedule ``callback`` to run at ``cycle``.
+
+        ``cycle`` must not be in the past relative to events already
+        popped; the kernel enforces monotonicity at pop time.
+        """
+        if cycle < 0:
+            raise ConfigurationError(f"cannot schedule event at negative cycle {cycle}")
+        ev = Event(cycle, next(self._counter), callback, label)
+        heapq.heappush(self._heap, (cycle, ev.seq, ev))
+        return ev
+
+    def next_cycle(self) -> Optional[int]:
+        """Cycle of the earliest pending event, or ``None`` if empty."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pop_due(self, cycle: int) -> List[Event]:
+        """Remove and return all non-cancelled events due at or before ``cycle``."""
+        due: List[Event] = []
+        while self._heap and self._heap[0][0] <= cycle:
+            _, _, ev = heapq.heappop(self._heap)
+            if not ev.cancelled:
+                due.append(ev)
+        return due
+
+    def run_due(self, cycle: int) -> int:
+        """Fire every event due at or before ``cycle``; return count fired.
+
+        Events scheduled *during* the sweep for the same cycle also fire,
+        so a message that triggers an immediate (zero-latency) response
+        within the same cycle is handled before the pipeline ticks.
+        """
+        fired = 0
+        while True:
+            due = self.pop_due(cycle)
+            if not due:
+                return fired
+            for ev in due:
+                ev.callback()
+                fired += 1

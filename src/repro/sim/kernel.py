@@ -1,0 +1,124 @@
+"""Cycle-driven simulation kernel with an auxiliary event queue.
+
+The kernel advances a global clock one cycle at a time.  Each cycle:
+
+1. every event due at this cycle fires (message deliveries, memory
+   response arrivals), then
+2. every registered :class:`Component` is ticked in registration order.
+
+Components that model pipeline stages are registered in *reverse
+dataflow order* (retire before fetch) by the processor, which gives the
+usual one-cycle-per-stage timing without double-counting.
+
+Determinism: no wall-clock time, no unordered dict/set iteration in any
+decision path, and the event queue breaks ties by scheduling order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .errors import DeadlockError
+from .events import Event, EventCallback, EventQueue
+from .stats import StatsRegistry
+
+
+class Component:
+    """Anything with per-cycle behaviour.
+
+    Subclasses override :meth:`tick`.  A component becomes active by
+    being registered with a :class:`Simulator`.
+    """
+
+    name: str = "component"
+
+    def tick(self, cycle: int) -> None:  # pragma: no cover - interface
+        """Advance one cycle of this component's local state."""
+
+    def is_quiescent(self) -> bool:
+        """True when the component has no pending work.
+
+        Used by the kernel's deadlock detector: if *every* component is
+        quiescent and the event queue is empty but the simulation has not
+        reached its termination condition, we are deadlocked.
+        """
+        return True
+
+
+class Simulator:
+    """Owns the clock, the event queue, the components, and statistics."""
+
+    def __init__(self, stats: Optional[StatsRegistry] = None) -> None:
+        self.cycle = 0
+        self.events = EventQueue()
+        self.stats = stats if stats is not None else StatsRegistry()
+        self._components: List[Component] = []
+        self._trace_hooks: List[Callable[[int], None]] = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def register(self, component: Component) -> None:
+        """Register a component; ticked each cycle in registration order."""
+        self._components.append(component)
+
+    def add_trace_hook(self, hook: Callable[[int], None]) -> None:
+        """Call ``hook(cycle)`` at the end of every cycle (for tracing)."""
+        self._trace_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, callback: EventCallback, label: str = "") -> Event:
+        """Schedule ``callback`` to run ``delay`` cycles from now.
+
+        ``delay`` of 0 means "later this same cycle" when called from an
+        event, or "at the start of the next processed cycle" when called
+        from a component tick.
+        """
+        return self.events.schedule(self.cycle + delay, callback, label)
+
+    def schedule_at(self, cycle: int, callback: EventCallback, label: str = "") -> Event:
+        if cycle < self.cycle:
+            raise ValueError(f"cannot schedule in the past ({cycle} < {self.cycle})")
+        return self.events.schedule(cycle, callback, label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the simulation by exactly one cycle."""
+        self.cycle += 1
+        self.events.run_due(self.cycle)
+        for component in self._components:
+            component.tick(self.cycle)
+        for hook in self._trace_hooks:
+            hook(self.cycle)
+
+    def run(
+        self,
+        until: Callable[[], bool],
+        max_cycles: int = 1_000_000,
+        deadlock_check: bool = True,
+    ) -> int:
+        """Step until ``until()`` is true; return the final cycle.
+
+        Raises :class:`DeadlockError` if ``max_cycles`` elapse first, or
+        earlier if every component is quiescent with an empty event queue
+        while ``until()`` remains false.
+        """
+        while not until():
+            if self.cycle >= max_cycles:
+                raise DeadlockError(self.cycle, self._diagnose())
+            if (
+                deadlock_check
+                and self.events.next_cycle() is None
+                and all(c.is_quiescent() for c in self._components)
+            ):
+                raise DeadlockError(self.cycle, "all components quiescent; " + self._diagnose())
+            self.step()
+        return self.cycle
+
+    def _diagnose(self) -> str:
+        busy = [c.name for c in self._components if not c.is_quiescent()]
+        return f"non-quiescent components: {busy!r}" if busy else "no pending work anywhere"

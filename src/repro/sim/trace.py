@@ -1,0 +1,77 @@
+"""Structured trace recording.
+
+The Figure 5 reproduction needs an event-by-event record of the reorder
+buffer, store buffer, speculative-load buffer, and cache contents.  The
+:class:`TraceRecorder` collects :class:`TraceEvent` records emitted by
+components; tests and benchmarks assert against the recorded sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded simulation event.
+
+    ``kind`` is a short machine-readable tag (``"issue"``, ``"squash"``,
+    ``"inval"``, ...); ``detail`` carries event-specific payload such as
+    the instruction label or the buffer snapshot.
+    """
+
+    cycle: int
+    source: str
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        extras = ", ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.cycle:>6}] {self.source:<14} {self.kind:<18} {extras}"
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceEvent` records.
+
+    Recording can be filtered by ``kinds`` to keep long simulations
+    cheap; with ``kinds=None`` everything is kept.
+    """
+
+    def __init__(self, kinds: Optional[Iterable[str]] = None, enabled: bool = True) -> None:
+        self.events: List[TraceEvent] = []
+        self._kinds = frozenset(kinds) if kinds is not None else None
+        self.enabled = enabled
+
+    def record(self, cycle: int, source: str, kind: str, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        self.events.append(TraceEvent(cycle, source, kind, dict(detail)))
+
+    def of_kind(self, *kinds: str) -> List[TraceEvent]:
+        wanted = frozenset(kinds)
+        return [ev for ev in self.events if ev.kind in wanted]
+
+    def first(self, kind: str) -> Optional[TraceEvent]:
+        for ev in self.events:
+            if ev.kind == kind:
+                return ev
+        return None
+
+    def render(self) -> str:
+        return "\n".join(ev.describe() for ev in self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class NullTraceRecorder(TraceRecorder):
+    """A recorder that drops everything (default for batch runs)."""
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+    def record(self, cycle: int, source: str, kind: str, **detail: Any) -> None:
+        return

@@ -1,0 +1,15 @@
+"""System assembly: memory fabric, scripted agents, the multiprocessor."""
+
+from .agent import ScriptedAgent
+from .fabric import MemoryFabric, latency_by_kind
+from .machine import MachineConfig, Multiprocessor, RunResult, run_workload
+
+__all__ = [
+    "MachineConfig",
+    "MemoryFabric",
+    "Multiprocessor",
+    "RunResult",
+    "ScriptedAgent",
+    "latency_by_kind",
+    "run_workload",
+]

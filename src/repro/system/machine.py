@@ -1,0 +1,149 @@
+"""The full multiprocessor: N out-of-order cores over the memory fabric.
+
+This is the top-level entry point of the detailed simulator.  A
+:class:`Multiprocessor` takes one program per CPU, a machine
+configuration (consistency model, techniques, latencies, cache
+geometry), and runs to completion.
+
+A convenience one-shot, :func:`run_workload`, covers the common
+experiment pattern: build, warm, run, return a :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..consistency.models import ConsistencyModel, SC
+from ..cpu.config import ProcessorConfig
+from ..cpu.processor import Processor
+from ..isa.program import Program
+from ..memory.types import CacheConfig, LatencyConfig
+from ..sim.errors import ConfigurationError
+from ..sim.kernel import Simulator
+from ..sim.stats import StatsRegistry
+from ..sim.trace import NullTraceRecorder, TraceRecorder
+from .agent import ScriptedAgent
+from .fabric import MemoryFabric
+
+
+@dataclass
+class MachineConfig:
+    """Everything needed to build a multiprocessor."""
+
+    model: ConsistencyModel = SC
+    enable_prefetch: bool = False
+    enable_speculation: bool = False
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    latencies: LatencyConfig = field(default_factory=lambda: LatencyConfig.from_miss_latency(100))
+    processor: ProcessorConfig = field(default_factory=ProcessorConfig)
+
+    def processor_config(self) -> ProcessorConfig:
+        return replace(
+            self.processor,
+            model=self.model,
+            enable_prefetch=self.enable_prefetch,
+            enable_speculation=self.enable_speculation,
+        )
+
+
+@dataclass
+class RunResult:
+    cycles: int
+    stats: StatsRegistry
+    machine: "Multiprocessor"
+
+    def counter(self, name: str) -> int:
+        return self.stats.counter(name).value
+
+
+class Multiprocessor:
+    def __init__(
+        self,
+        programs: Sequence[Program],
+        config: Optional[MachineConfig] = None,
+        trace: Optional[TraceRecorder] = None,
+        extra_agents: int = 0,
+    ) -> None:
+        if not programs:
+            raise ConfigurationError("need at least one program")
+        self.config = config or MachineConfig()
+        self.trace = trace or NullTraceRecorder()
+        self.sim = Simulator()
+        self.fabric = MemoryFabric(
+            self.sim,
+            num_cpus=len(programs),
+            cache_config=self.config.cache,
+            latencies=self.config.latencies,
+            trace=self.trace,
+        )
+        pconfig = self.config.processor_config()
+        self.processors: List[Processor] = []
+        for cpu_id, program in enumerate(programs):
+            proc = Processor(cpu_id, self.sim, program,
+                             self.fabric.caches[cpu_id], pconfig,
+                             trace=self.trace)
+            self.sim.register(proc)
+            self.processors.append(proc)
+        self.agents: List[ScriptedAgent] = [
+            ScriptedAgent(f"agent{i}", self.sim, self.fabric.net,
+                          line_size=self.config.cache.line_size)
+            for i in range(extra_agents)
+        ]
+
+    # ------------------------------------------------------------------
+    def init_memory(self, values: Dict[int, int]) -> None:
+        self.fabric.init_memory(values)
+
+    def warm(self, cpu: int, addr: int, exclusive: bool = False) -> None:
+        self.fabric.warm(cpu, addr, exclusive=exclusive)
+
+    def read_word(self, addr: int) -> int:
+        return self.fabric.read_word(addr)
+
+    def reg(self, cpu: int, name: str) -> int:
+        return self.processors[cpu].regfile.read(name)
+
+    # ------------------------------------------------------------------
+    def done(self) -> bool:
+        return (all(p.finished for p in self.processors)
+                and all(p.lsu.is_empty() for p in self.processors)
+                and self.fabric.is_quiescent())
+
+    def run(self, max_cycles: int = 1_000_000) -> int:
+        """Run until every program finishes and all memory traffic drains."""
+        return self.sim.run(until=self.done, max_cycles=max_cycles,
+                            deadlock_check=False)
+
+
+def run_workload(
+    programs: Sequence[Program],
+    model: ConsistencyModel = SC,
+    prefetch: bool = False,
+    speculation: bool = False,
+    miss_latency: int = 100,
+    initial_memory: Optional[Dict[int, int]] = None,
+    warm_lines: Sequence[Tuple[int, int, bool]] = (),
+    cache: Optional[CacheConfig] = None,
+    processor: Optional[ProcessorConfig] = None,
+    trace: Optional[TraceRecorder] = None,
+    max_cycles: int = 1_000_000,
+    extra_agents: int = 0,
+) -> RunResult:
+    """Build a machine, warm it, run it, and return the result."""
+    config = MachineConfig(
+        model=model,
+        enable_prefetch=prefetch,
+        enable_speculation=speculation,
+        latencies=LatencyConfig.from_miss_latency(miss_latency),
+        cache=cache or CacheConfig(),
+        processor=processor or ProcessorConfig(),
+    )
+    machine = Multiprocessor(programs, config, trace=trace,
+                             extra_agents=extra_agents)
+    if initial_memory:
+        machine.init_memory(initial_memory)
+    for cpu, addr, exclusive in warm_lines:
+        machine.warm(cpu, addr, exclusive=exclusive)
+    cycles = machine.run(max_cycles=max_cycles)
+    return RunResult(cycles=cycles, stats=machine.sim.stats, machine=machine)

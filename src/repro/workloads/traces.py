@@ -1,0 +1,279 @@
+"""Memory-access traces: capture, storage, and trace-driven analysis.
+
+Trace-driven simulation was the era's standard methodology (the
+authors' companion paper [7] evaluates the techniques on traces of
+parallel applications).  This module provides:
+
+* :class:`TraceRecord` / :class:`AccessTrace` — a per-processor stream
+  of shared-memory accesses with acquire/release annotations and value
+  dependences;
+* a plain-text serialization format (one record per line) so traces
+  can be shipped and diffed;
+* :func:`trace_from_program` — capture a trace by running the
+  reference interpreter (addresses resolved, branches followed);
+* :func:`trace_to_segment` — feed a trace to the analytical timing
+  model, with hit/miss classification supplied by a simple
+  direct-mapped filter model (or by the trace itself).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Tuple, Union
+
+from ..consistency.access_class import AccessClass
+from ..core.timing import AccessSpec
+from ..isa.instructions import Load, Rmw, Store
+from ..isa.program import Program
+from ..isa.registers import RegisterFile
+from ..sim.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One shared-memory access in a trace."""
+
+    op: str          # "R" (read), "W" (write), or "U" (read-modify-write)
+    addr: int
+    acquire: bool = False
+    release: bool = False
+    #: index of an earlier record whose *value* this access's address
+    #: depends on (-1: none) — preserves pointer-chase structure
+    depends_on: int = -1
+
+    def __post_init__(self) -> None:
+        if self.op not in ("R", "W", "U"):
+            raise SimulationError(f"trace op must be R/W/U, got {self.op!r}")
+
+    def access_class(self) -> AccessClass:
+        return AccessClass(
+            is_load=self.op in ("R", "U"),
+            is_store=self.op in ("W", "U"),
+            acquire=self.acquire,
+            release=self.release,
+        )
+
+    def to_line(self) -> str:
+        flags = ("a" if self.acquire else "") + ("r" if self.release else "")
+        dep = f" @{self.depends_on}" if self.depends_on >= 0 else ""
+        return f"{self.op} {self.addr:#x} {flags or '-'}{dep}"
+
+    @classmethod
+    def from_line(cls, line: str) -> "TraceRecord":
+        parts = line.split()
+        if len(parts) < 3:
+            raise SimulationError(f"malformed trace line {line!r}")
+        op, addr_text, flags = parts[0], parts[1], parts[2]
+        depends_on = -1
+        if len(parts) > 3:
+            if not parts[3].startswith("@"):
+                raise SimulationError(f"malformed dependence in {line!r}")
+            depends_on = int(parts[3][1:])
+        return cls(
+            op=op,
+            addr=int(addr_text, 0),
+            acquire="a" in flags,
+            release="r" in flags,
+            depends_on=depends_on,
+        )
+
+
+@dataclass
+class AccessTrace:
+    """A named, ordered stream of :class:`TraceRecord`."""
+
+    name: str
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def append(self, record: TraceRecord) -> None:
+        if record.depends_on >= len(self.records):
+            raise SimulationError(
+                f"record depends on future index {record.depends_on}"
+            )
+        self.records.append(record)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def dump(self, fh: TextIO) -> None:
+        fh.write(f"# trace {self.name}\n")
+        for record in self.records:
+            fh.write(record.to_line() + "\n")
+
+    def dumps(self) -> str:
+        buf = io.StringIO()
+        self.dump(buf)
+        return buf.getvalue()
+
+    @classmethod
+    def load(cls, fh: Union[TextIO, str]) -> "AccessTrace":
+        if isinstance(fh, str):
+            fh = io.StringIO(fh)
+        name = "trace"
+        records: List[TraceRecord] = []
+        for raw in fh:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if line.startswith("# trace "):
+                    name = line[len("# trace "):].strip()
+                continue
+            records.append(TraceRecord.from_line(line))
+        trace = cls(name=name)
+        for record in records:
+            trace.append(record)
+        return trace
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {
+            "accesses": len(self.records),
+            "reads": sum(1 for r in self.records if r.op == "R"),
+            "writes": sum(1 for r in self.records if r.op == "W"),
+            "rmws": sum(1 for r in self.records if r.op == "U"),
+            "acquires": sum(1 for r in self.records if r.acquire),
+            "releases": sum(1 for r in self.records if r.release),
+            "dependent": sum(1 for r in self.records if r.depends_on >= 0),
+        }
+
+
+# ----------------------------------------------------------------------
+# Capture
+# ----------------------------------------------------------------------
+
+def trace_from_program(
+    program: Program,
+    initial_memory: Optional[Dict[int, int]] = None,
+    name: str = "trace",
+    max_steps: int = 200_000,
+) -> AccessTrace:
+    """Execute ``program`` with the reference semantics and record every
+    shared-memory access, with resolved addresses.
+
+    Address dependences are recovered by tracking which load most
+    recently produced each register value used in an address.
+    """
+    memory: Dict[int, int] = dict(initial_memory or {})
+    regs = RegisterFile()
+    #: register -> trace index of the load that produced its value
+    producer: Dict[str, int] = {}
+    trace = AccessTrace(name=name)
+    pc = 0
+    steps = 0
+    while True:
+        instr = program.at(pc)
+        if instr is None:
+            break
+        steps += 1
+        if steps > max_steps:
+            raise SimulationError("trace capture exceeded max_steps")
+        kind = type(instr).__name__
+        if kind == "Halt":
+            break
+        if isinstance(instr, Load):
+            addr = regs.read(instr.base) + instr.offset
+            dep = producer.get(instr.base, -1) if instr.base != "r0" else -1
+            trace.append(TraceRecord("R", addr, acquire=instr.acquire,
+                                     depends_on=dep))
+            regs.write(instr.dst, memory.get(addr, 0))
+            producer[instr.dst] = len(trace.records) - 1
+            pc += 1
+        elif isinstance(instr, Store):
+            addr = regs.read(instr.base) + instr.offset
+            dep = producer.get(instr.base, -1) if instr.base != "r0" else -1
+            trace.append(TraceRecord("W", addr, release=instr.release,
+                                     depends_on=dep))
+            memory[addr] = regs.read(instr.src)
+            pc += 1
+        elif isinstance(instr, Rmw):
+            addr = regs.read(instr.base) + instr.offset
+            dep = producer.get(instr.base, -1) if instr.base != "r0" else -1
+            trace.append(TraceRecord("U", addr, acquire=instr.acquire,
+                                     release=instr.release, depends_on=dep))
+            old = memory.get(addr, 0)
+            memory[addr] = instr.new_value(old, regs.read(instr.src))
+            regs.write(instr.dst, old)
+            producer[instr.dst] = len(trace.records) - 1
+            pc += 1
+        else:
+            # compute / control flow: execute via the shared semantics
+            from ..isa.instructions import Alu, Branch, Jump
+
+            if isinstance(instr, Alu):
+                a = regs.read(instr.src1)
+                b = (regs.read(instr.src2) if instr.src2 is not None
+                     else (instr.imm or 0))
+                regs.write(instr.dst, instr.compute(a, b))
+                # a value derived from a load keeps its dependence
+                if instr.src1 in producer:
+                    producer[instr.dst] = producer[instr.src1]
+                elif instr.src2 in producer:
+                    producer[instr.dst] = producer[instr.src2]
+                else:
+                    producer.pop(instr.dst, None)
+                pc += 1
+            elif isinstance(instr, Branch):
+                taken = instr.outcome(regs.read(instr.cond))
+                pc = program.target_pc(instr.target) if taken else pc + 1
+            elif isinstance(instr, Jump):
+                pc = program.target_pc(instr.target)
+            else:  # Nop, SoftwarePrefetch
+                pc += 1
+    return trace
+
+
+# ----------------------------------------------------------------------
+# Trace-driven analysis
+# ----------------------------------------------------------------------
+
+class DirectMappedFilter:
+    """A tiny direct-mapped cache filter classifying hits vs misses."""
+
+    def __init__(self, num_sets: int = 64, line_size: int = 4) -> None:
+        self.num_sets = num_sets
+        self.line_size = line_size
+        self._tags: Dict[int, int] = {}
+
+    def access(self, addr: int) -> bool:
+        """Record the access; return True on a hit."""
+        line = addr // self.line_size
+        idx = line % self.num_sets
+        hit = self._tags.get(idx) == line
+        self._tags[idx] = line
+        return hit
+
+
+def trace_to_segment(
+    trace: AccessTrace,
+    hit_filter: Optional[DirectMappedFilter] = None,
+) -> List[AccessSpec]:
+    """Convert a trace into an analytical-model segment.
+
+    Hits/misses come from replaying the trace through ``hit_filter``
+    (default: a fresh 64-set direct-mapped filter — i.e. a cold cache).
+    """
+    if hit_filter is None:
+        hit_filter = DirectMappedFilter()
+    labels: List[str] = []
+    segment: List[AccessSpec] = []
+    for i, record in enumerate(trace.records):
+        label = f"t{i}"
+        labels.append(label)
+        deps: Tuple[str, ...] = ()
+        if record.depends_on >= 0:
+            deps = (labels[record.depends_on],)
+        segment.append(AccessSpec(
+            label=label,
+            klass=record.access_class(),
+            hit=hit_filter.access(record.addr),
+            deps=deps,
+        ))
+    return segment

@@ -1,0 +1,195 @@
+"""The analytical timing model must reproduce every number in the
+paper's Sections 3.3 and 4.1 — this is experiment E2/E3's core check."""
+
+import pytest
+
+from repro.consistency import PC, RC, SC, WC
+from repro.consistency.access_class import (
+    ACQUIRE,
+    PLAIN_LOAD,
+    PLAIN_STORE,
+    RELEASE,
+)
+from repro.core.timing import (
+    AccessSpec,
+    AnalyticalTimingModel,
+    TimingConfig,
+    compare_configurations,
+)
+from repro.sim.errors import ConfigurationError, SimulationError
+from repro.workloads.paper_examples import (
+    PAPER_CYCLE_COUNTS,
+    example1_segment,
+    example2_segment,
+    figure5_segment,
+)
+
+ENGINE = AnalyticalTimingModel()
+
+
+class TestExample1:
+    """Producer: lock L; write A; write B; unlock L (Section 3.3)."""
+
+    def total(self, model, **tech):
+        return ENGINE.schedule(example1_segment(), model, **tech).total_cycles
+
+    def test_sc_baseline_301(self):
+        assert self.total(SC) == 301
+
+    def test_rc_baseline_202(self):
+        assert self.total(RC) == 202
+
+    def test_sc_prefetch_103(self):
+        assert self.total(SC, prefetch=True) == 103
+
+    def test_rc_prefetch_103(self):
+        assert self.total(RC, prefetch=True) == 103
+
+    def test_prefetch_equalizes_models(self):
+        """'prefetching boosts the performance of both SC and RC and
+        also equalizes the performance of the two models.'"""
+        assert self.total(SC, prefetch=True) == self.total(RC, prefetch=True)
+
+    def test_speculation_alone_does_not_help_stores(self):
+        # Example 1 is store-bound; speculative loads only speed the lock.
+        assert self.total(SC, speculation=True) > self.total(SC, prefetch=True)
+
+
+class TestExample2:
+    """Consumer: lock L; read C; read D(hit); read E[D]; unlock (3.3/4.1)."""
+
+    def total(self, model, **tech):
+        return ENGINE.schedule(example2_segment(), model, **tech).total_cycles
+
+    def test_sc_baseline_302(self):
+        assert self.total(SC) == 302
+
+    def test_rc_baseline_203(self):
+        assert self.total(RC) == 203
+
+    def test_sc_prefetch_203(self):
+        assert self.total(SC, prefetch=True) == 203
+
+    def test_rc_prefetch_202(self):
+        assert self.total(RC, prefetch=True) == 202
+
+    def test_sc_speculation_104(self):
+        """'both SC and RC complete the accesses in 104 cycles.'"""
+        assert self.total(SC, prefetch=True, speculation=True) == 104
+
+    def test_rc_speculation_104(self):
+        assert self.total(RC, prefetch=True, speculation=True) == 104
+
+    def test_speculation_without_prefetch_also_104(self):
+        # Example 2 has no delayed stores, so prefetch adds nothing
+        # once loads speculate.
+        assert self.total(SC, speculation=True) == 104
+
+    def test_prefetch_fails_on_dependent_load(self):
+        """'prefetching fails to remedy the cases where out-of-order
+        consumption of return values is important' — read D's value is
+        not consumable early, so E[D] stays serialized."""
+        res = ENGINE.schedule(example2_segment(), SC, prefetch=True)
+        read_d = res.timing("read D")
+        read_e = res.timing("read E[D]")
+        assert read_e.issue > read_d.complete
+        assert res.total_cycles > 110  # far from the speculative 104
+
+    def test_speculative_loads_flagged_in_schedule(self):
+        res = ENGINE.schedule(example2_segment(), SC, speculation=True)
+        assert res.timing("read C").speculative
+        assert not res.timing("unlock L").speculative
+
+
+class TestPaperTable:
+    """Every (example, model, technique) number from the paper."""
+
+    @pytest.mark.parametrize(
+        "example,model,technique,expected",
+        [(e, m, t, v) for (e, m, t), v in PAPER_CYCLE_COUNTS.items()],
+        ids=[f"{e}-{m}-{t}" for (e, m, t) in PAPER_CYCLE_COUNTS],
+    )
+    def test_matches_paper(self, example, model, technique, expected):
+        segment = example1_segment() if example == "example1" else example2_segment()
+        table = compare_configurations(segment, [SC, RC])
+        assert table[(model, technique)] == expected
+
+
+class TestIntermediateModels:
+    """PC and WC must land between SC and RC."""
+
+    @pytest.mark.parametrize("segment_fn", [example1_segment, example2_segment],
+                             ids=["ex1", "ex2"])
+    def test_baseline_ordering(self, segment_fn):
+        seg = segment_fn()
+        totals = {m.name: ENGINE.schedule(seg, m).total_cycles
+                  for m in (SC, PC, WC, RC)}
+        assert totals["SC"] >= totals["PC"] >= totals["WC"] >= totals["RC"]
+
+    def test_pc_helps_example1(self):
+        # PC lets the read-based lock... actually Example 1 is all stores
+        # after the lock; PC keeps W->W so it behaves like SC here.
+        seg = example1_segment()
+        assert ENGINE.schedule(seg, PC).total_cycles == 301
+
+    def test_wc_example1_matches_rc(self):
+        # No accesses after the release, so WC == RC on Example 1.
+        seg = example1_segment()
+        assert ENGINE.schedule(seg, WC).total_cycles == 202
+
+
+class TestFigure5Segment:
+    def test_speculation_overlaps_everything(self):
+        res = ENGINE.schedule(figure5_segment(), SC,
+                              prefetch=True, speculation=True)
+        # loads A, D, E[D] all issue before the stores complete
+        assert res.timing("read D").issue < res.timing("write B").complete
+        assert res.total_cycles <= 110
+
+    def test_baseline_sc_serializes(self):
+        res = ENGINE.schedule(figure5_segment(), SC)
+        assert res.total_cycles == 100 + 100 + 100 + 1 + 100  # 401
+
+
+class TestEngineValidation:
+    def test_duplicate_labels_rejected(self):
+        seg = [AccessSpec("x", PLAIN_LOAD), AccessSpec("x", PLAIN_LOAD)]
+        with pytest.raises(ConfigurationError):
+            ENGINE.schedule(seg, SC)
+
+    def test_forward_dependency_rejected(self):
+        seg = [AccessSpec("a", PLAIN_LOAD, deps=("b",)),
+               AccessSpec("b", PLAIN_LOAD)]
+        with pytest.raises(ConfigurationError):
+            ENGINE.schedule(seg, SC)
+
+    def test_bad_latency_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimingConfig(hit_latency=2, miss_latency=1)
+
+    def test_empty_segment(self):
+        with pytest.raises(ValueError):
+            ENGINE.schedule([], SC)
+
+    def test_single_hit_access(self):
+        res = ENGINE.schedule([AccessSpec("a", PLAIN_LOAD, hit=True)], SC)
+        assert res.total_cycles == 1
+
+    def test_single_miss_access(self):
+        res = ENGINE.schedule([AccessSpec("a", PLAIN_LOAD)], SC)
+        assert res.total_cycles == 100
+
+    def test_custom_latencies(self):
+        engine = AnalyticalTimingModel(TimingConfig(hit_latency=1, miss_latency=10))
+        res = engine.schedule(example1_segment(), SC)
+        assert res.total_cycles == 31  # 10+10+10+1
+
+    def test_describe_contains_totals(self):
+        res = ENGINE.schedule(example1_segment(), SC, prefetch=True)
+        text = res.describe()
+        assert "103 cycles" in text and "prefetch" in text
+
+    def test_timing_lookup_unknown_label(self):
+        res = ENGINE.schedule(example1_segment(), SC)
+        with pytest.raises(KeyError):
+            res.timing("nope")

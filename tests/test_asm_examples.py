@@ -1,0 +1,43 @@
+"""The shipped assembly examples run correctly through the CLI."""
+
+import pytest
+
+from repro.run import main
+
+ASM = "examples/asm"
+
+
+class TestAsmExamples:
+    def test_example1_all_configs(self, capsys):
+        for extra in ([], ["--prefetch"], ["--prefetch", "--speculation"]):
+            assert main([f"{ASM}/example1.s", "--model", "SC",
+                         "--watch", "0x20", "--watch", "0x30", *extra]) == 0
+            out = capsys.readouterr().out
+            assert "MEM[0x20] = 1" in out
+            assert "MEM[0x30] = 1" in out
+
+    def test_example1_prefetch_speedup_via_cli(self, capsys):
+        def cycles(extra):
+            assert main([f"{ASM}/example1.s", "--model", "SC", *extra]) == 0
+            out = capsys.readouterr().out
+            return int(out.split("completed in ")[1].split()[0])
+
+        base = cycles([])
+        fast = cycles(["--prefetch"])
+        assert base / fast > 2.5
+
+    def test_producer_consumer_pair(self, capsys):
+        assert main([f"{ASM}/producer.s", f"{ASM}/consumer.s",
+                     "--model", "RC", "--prefetch", "--speculation",
+                     "--regs", "r5"]) == 0
+        out = capsys.readouterr().out
+        assert "cpu1: r5=42" in out
+
+    def test_dekker_under_sc_never_both_zero(self, capsys):
+        assert main([f"{ASM}/dekker.s", f"{ASM}/dekker_mirror.s",
+                     "--model", "SC", "--speculation", "--prefetch",
+                     "--regs", "r1"]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.startswith("cpu")]
+        values = [int(l.split("r1=")[1]) for l in lines]
+        assert values != [0, 0], "SC forbids the Dekker relaxation"

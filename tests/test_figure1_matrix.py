@@ -1,0 +1,57 @@
+"""The delay-arc matrices must transcribe Figure 1 exactly."""
+
+import pytest
+
+from repro.analysis import delay_arc_matrix
+from repro.consistency import PC, RC, RCSC, SC, WC
+
+CLASSES = ["load", "store", "acquire", "release"]
+
+
+def matrix_of(model):
+    table = delay_arc_matrix(model)
+    out = {}
+    for row in table.rows:
+        earlier = row[0]
+        for later, cell in zip(CLASSES, row[1:]):
+            out[(earlier, later)] = cell == "wait"
+    return out
+
+
+class TestFigure1Matrices:
+    def test_sc_all_sixteen_arcs(self):
+        m = matrix_of(SC)
+        assert all(m.values()) and len(m) == 16
+
+    def test_pc_relaxes_exactly_store_to_load(self):
+        m = matrix_of(PC)
+        relaxed = {pair for pair, wait in m.items() if not wait}
+        # pure-store before pure-load pairs (acquire is a load; release
+        # is a store — the figure orders accesses by their kind)
+        assert relaxed == {("store", "load"), ("store", "acquire"),
+                           ("release", "load"), ("release", "acquire")}
+
+    def test_wc_data_block_is_free(self):
+        m = matrix_of(WC)
+        for a in ("load", "store"):
+            for b in ("load", "store"):
+                assert not m[(a, b)], (a, b)
+        # everything involving a sync access waits
+        for other in CLASSES:
+            assert m[("acquire", other)]
+            assert m[(other, "release")]
+
+    def test_rc_matches_figure_bottom_right(self):
+        m = matrix_of(RC)
+        # exactly: acquire row all wait, release column all wait
+        for pair, wait in m.items():
+            expected = pair[0] == "acquire" or pair[1] == "release"
+            assert wait == expected, pair
+
+    def test_rcsc_adds_release_acquire(self):
+        m_pc, m_sc = matrix_of(RC), matrix_of(RCSC)
+        assert not m_pc[("release", "acquire")]
+        assert m_sc[("release", "acquire")]
+        # and that is the *only* difference
+        diffs = {p for p in m_pc if m_pc[p] != m_sc[p]}
+        assert diffs == {("release", "acquire")}

@@ -1,0 +1,72 @@
+"""Cache-line-size configurability: correctness across geometries."""
+
+import pytest
+
+from repro.consistency import RC, SC
+from repro.isa import assemble, interpret
+from repro.memory import CacheConfig
+from repro.system import run_workload
+from repro.workloads import false_sharing_workload
+
+PROGRAM = """
+    movi r1, 11
+    st   r1, 0x40
+    st   r1, 0x41
+    ld   r2, 0x40
+    ld   r3, 0x41
+    ld   r4, 0x48
+    rmw.add r5, 0x40, r1
+    halt
+"""
+
+
+class TestLineSizes:
+    @pytest.mark.parametrize("line_size", [1, 2, 4, 8])
+    @pytest.mark.parametrize("spec", [False, True], ids=["base", "spec"])
+    def test_results_independent_of_line_size(self, line_size, spec):
+        program = assemble(PROGRAM)
+        expected = interpret(program, initial_memory={0x48: 9})
+        result = run_workload(
+            [program], model=SC, prefetch=spec, speculation=spec,
+            cache=CacheConfig(line_size=line_size),
+            initial_memory={0x48: 9},
+        )
+        for reg in ("r2", "r3", "r4", "r5"):
+            assert result.machine.reg(0, reg) == expected.reg(reg), \
+                (line_size, reg)
+        assert result.machine.read_word(0x40) == expected.word(0x40)
+
+    def test_single_word_lines_eliminate_false_sharing(self):
+        """With 1-word lines, disjoint adjacent counters never interfere
+        — the 'packed' layout behaves like the padded one."""
+        def run(machine_line_size):
+            # the same packed adjacent-word layout, different machine
+            # line sizes: 4-word lines share, 1-word lines don't
+            wl = false_sharing_workload(num_cpus=2, updates=3, padded=False)
+            result = run_workload(wl.programs, model=SC, prefetch=True,
+                                  speculation=True,
+                                  cache=CacheConfig(line_size=machine_line_size),
+                                  initial_memory=wl.initial_memory,
+                                  max_cycles=2_000_000)
+            for addr, exp in wl.expectations:
+                assert result.machine.read_word(addr) == exp
+            squashes = sum(result.counter(f"cpu{c}/slb/squashes")
+                           for c in range(2))
+            return result.cycles, squashes
+
+        packed4_cycles, packed4_squashes = run(4)
+        packed1_cycles, packed1_squashes = run(1)
+        assert packed1_squashes == 0
+        assert packed1_cycles <= packed4_cycles
+
+    @pytest.mark.parametrize("line_size", [2, 8])
+    def test_multiprocessor_sharing_across_line_sizes(self, line_size):
+        from repro.workloads import critical_section_workload
+        wl = critical_section_workload(num_cpus=2, iterations=1)
+        result = run_workload(wl.programs, model=RC, prefetch=True,
+                              speculation=True,
+                              cache=CacheConfig(line_size=line_size),
+                              initial_memory=wl.initial_memory,
+                              max_cycles=2_000_000)
+        for addr, expected in wl.expectations:
+            assert result.machine.read_word(addr) == expected

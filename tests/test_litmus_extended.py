@@ -1,0 +1,71 @@
+"""Extended litmus tests: IRIW, WRC, SB+sync, RCpc vs RCsc."""
+
+import pytest
+
+from repro.consistency import (
+    PC,
+    RC,
+    RCSC,
+    SC,
+    WC,
+    iriw,
+    sb_with_sync,
+    write_to_read_causality,
+)
+
+
+class TestIriw:
+    """Write atomicity (Section 2's assumption) makes IRIW safe in
+    every model: the two readers can never disagree on the order of
+    the independent writes."""
+
+    @pytest.mark.parametrize("model", [SC, PC, WC, RC, RCSC],
+                             ids=lambda m: m.name)
+    def test_readers_never_disagree(self, model):
+        t = iriw()
+        # r0=1,r1=0 means T2 saw x before y; r2=1,r3=0 means T3 saw y
+        # before x — disagreement about the global write order
+        assert t.forbids(model, r0=1, r1=0, r2=1, r3=0)
+
+    def test_agreeing_interleavings_allowed(self):
+        t = iriw()
+        assert t.allows(SC, r0=1, r1=1, r2=1, r3=1)
+        assert t.allows(RC, r0=0, r1=0, r2=0, r3=0)
+
+
+class TestWrc:
+    """Causality through a republished value."""
+
+    @pytest.mark.parametrize("model", [SC, PC, WC, RC, RCSC],
+                             ids=lambda m: m.name)
+    def test_labelled_wrc_is_causal(self, model):
+        t = write_to_read_causality()
+        # T1 saw x=1 and released y=1; T2 acquired y=1 -> must see x=1
+        assert t.forbids(model, r0=1, r1=1, r2=0)
+
+    def test_unordered_observations_allowed(self):
+        t = write_to_read_causality()
+        assert t.allows(RC, r0=0, r1=0, r2=0)
+        assert t.allows(RC, r0=1, r1=1, r2=1)
+
+
+class TestSbWithSync:
+    """The RCpc vs RCsc distinction (paper, footnote 1)."""
+
+    def test_sc_and_wc_forbid_dekker_outcome(self):
+        t = sb_with_sync()
+        assert t.forbids(SC, r0=0, r1=0)
+        assert t.forbids(WC, r0=0, r1=0)
+
+    def test_rcpc_allows_dekker_outcome(self):
+        """RCpc leaves release->acquire unordered: fully-labelled
+        Dekker can still observe (0, 0)."""
+        assert sb_with_sync().allows(RC, r0=0, r1=0)
+
+    def test_rcsc_forbids_dekker_outcome(self):
+        """RCsc orders special accesses sequentially: (0, 0) vanishes."""
+        assert sb_with_sync().forbids(RCSC, r0=0, r1=0)
+
+    def test_pc_allows_it_too(self):
+        # under PC the W->R relaxation applies to sync accesses as well
+        assert sb_with_sync().allows(PC, r0=0, r1=0)

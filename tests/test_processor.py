@@ -1,0 +1,383 @@
+"""Integration tests for the out-of-order processor on the memory fabric."""
+
+import pytest
+
+from repro.consistency import PC, RC, SC, WC
+from repro.isa import ProgramBuilder, assemble
+from repro.system import run_workload
+
+
+def run1(program, **kw):
+    """Run a single-CPU workload with defaults suitable for tests."""
+    kw.setdefault("max_cycles", 100_000)
+    return run_workload([program], **kw)
+
+
+class TestComputePipeline:
+    def test_mov_and_add(self):
+        p = (ProgramBuilder()
+             .mov_imm("r1", 5)
+             .mov_imm("r2", 7)
+             .add("r3", "r1", "r2")
+             .build())
+        r = run1(p)
+        assert r.machine.reg(0, "r3") == 12
+
+    def test_dependent_chain(self):
+        b = ProgramBuilder().mov_imm("r1", 1)
+        for _ in range(10):
+            b.add_imm("r1", "r1", 1)
+        r = run1(b.build())
+        assert r.machine.reg(0, "r1") == 11
+
+    def test_out_of_order_execution_of_independent_ops(self):
+        # a long-latency mul should not block an independent add
+        p = (ProgramBuilder()
+             .mov_imm("r1", 3)
+             .alu("mul", "r2", "r1", imm=5, latency=8)
+             .mov_imm("r3", 9)
+             .add_imm("r4", "r3", 1)
+             .build())
+        r = run1(p)
+        assert r.machine.reg(0, "r2") == 15
+        assert r.machine.reg(0, "r4") == 10
+
+    def test_all_alu_ops_via_assembler(self):
+        p = assemble(
+            """
+            movi r1, 6
+            movi r2, 3
+            add  r3, r1, r2
+            sub  r4, r1, r2
+            and  r5, r1, r2
+            or   r6, r1, r2
+            xor  r7, r1, r2
+            mul  r8, r1, r2
+            slt  r9, r2, r1
+            halt
+            """
+        )
+        r = run1(p)
+        m = r.machine
+        assert [m.reg(0, f"r{i}") for i in range(3, 10)] == [9, 3, 2, 7, 5, 18, 1]
+
+    def test_retired_instruction_count(self):
+        p = ProgramBuilder().mov_imm("r1", 1).mov_imm("r2", 2).build()
+        r = run1(p)
+        # 2 movs + halt
+        assert r.counter("cpu0/instructions_retired") == 3
+
+
+class TestBranches:
+    def test_loop_sums_one_to_ten(self):
+        p = assemble(
+            """
+                movi r1, 0      # sum
+                movi r2, 10     # i
+            loop:
+                add  r1, r1, r2
+                subi r2, r2, 1
+                bnez r2, loop
+                halt
+            """
+        )
+        r = run1(p)
+        assert r.machine.reg(0, "r1") == 55
+
+    def test_not_taken_branch_falls_through(self):
+        p = assemble(
+            """
+                movi r1, 0
+                beqz r0, skip   # r0 == 0, so taken
+                movi r1, 111
+            skip:
+                movi r2, 5
+                halt
+            """
+        )
+        r = run1(p)
+        assert r.machine.reg(0, "r1") == 0
+        assert r.machine.reg(0, "r2") == 5
+
+    def test_mispredicted_branch_squashes_wrong_path(self):
+        # hint the branch as not-taken while it is actually taken:
+        # the wrong-path mov must be discarded
+        p = assemble(
+            """
+                movi r1, 1
+                bnez r1, out !taken
+                movi r2, 99
+            out:
+                halt
+            """
+        )
+        r = run1(p)
+        assert r.machine.reg(0, "r2") == 0
+        assert r.counter("cpu0/branch_mispredicts") == 1
+        assert r.counter("cpu0/squash_events") >= 1
+
+    def test_wrong_path_stores_never_reach_memory(self):
+        p = assemble(
+            """
+                movi r1, 1
+                movi r3, 77
+                bnez r1, out !taken
+                st   r3, 0x100     # wrong path: must not perform
+            out:
+                halt
+            """
+        )
+        r = run1(p)
+        assert r.machine.read_word(0x100) == 0
+
+    def test_dynamic_predictor_learns_loop(self):
+        p = assemble(
+            """
+                movi r2, 30
+            loop:
+                subi r2, r2, 1
+                bnez r2, loop
+                halt
+            """
+        )
+        r = run1(p)
+        assert r.machine.reg(0, "r2") == 0
+        # 2-bit counters should mispredict far fewer than 30 times
+        assert r.counter("cpu0/branch_mispredicts") <= 5
+
+
+class TestMemoryOps:
+    def test_store_then_load_roundtrip(self):
+        p = (ProgramBuilder()
+             .mov_imm("r1", 123)
+             .store("r1", addr=0x40)
+             .load("r2", addr=0x40)
+             .build())
+        r = run1(p)
+        assert r.machine.reg(0, "r2") == 123
+        assert r.machine.read_word(0x40) == 123
+
+    def test_store_to_load_forwarding_counted(self):
+        p = (ProgramBuilder()
+             .mov_imm("r1", 5)
+             .store("r1", addr=0x40)
+             .load("r2", addr=0x40)
+             .build())
+        r = run1(p, model=RC)  # RC lets the load run while the store waits
+        assert r.machine.reg(0, "r2") == 5
+        assert r.counter("cpu0/lsu/store_forwards") == 1
+
+    def test_load_from_initialized_memory(self):
+        p = ProgramBuilder().load("r1", addr=0x80).build()
+        r = run1(p, initial_memory={0x80: 42})
+        assert r.machine.reg(0, "r1") == 42
+
+    def test_indexed_addressing(self):
+        p = (ProgramBuilder()
+             .load("r1", addr=0x10)            # r1 = 2
+             .load("r2", base="r1", addr=0x20)  # MEM[0x22]
+             .build())
+        r = run1(p, initial_memory={0x10: 2, 0x22: 77})
+        assert r.machine.reg(0, "r2") == 77
+
+    def test_rmw_test_and_set(self):
+        p = ProgramBuilder().rmw("r1", addr=0x40, op="ts").build()
+        r = run1(p, initial_memory={0x40: 0})
+        assert r.machine.reg(0, "r1") == 0
+        assert r.machine.read_word(0x40) == 1
+
+    def test_rmw_fetch_and_add(self):
+        p = (ProgramBuilder()
+             .mov_imm("r2", 5)
+             .rmw("r1", addr=0x40, op="add", src="r2")
+             .build())
+        r = run1(p, initial_memory={0x40: 10})
+        assert r.machine.reg(0, "r1") == 10
+        assert r.machine.read_word(0x40) == 15
+
+    def test_load_after_rmw_same_address_sees_rmw_result(self):
+        p = (ProgramBuilder()
+             .rmw("r1", addr=0x40, op="ts")
+             .load("r2", addr=0x40)
+             .build())
+        for spec in (False, True):
+            r = run1(p, model=RC, speculation=spec, initial_memory={0x40: 0})
+            assert r.machine.reg(0, "r2") == 1, f"spec={spec}"
+
+    @pytest.mark.parametrize("model", [SC, PC, WC, RC], ids=lambda m: m.name)
+    @pytest.mark.parametrize("pf,spec", [(False, False), (True, False),
+                                         (False, True), (True, True)])
+    def test_single_cpu_results_identical_across_configs(self, model, pf, spec):
+        """Techniques and models must never change architectural results."""
+        p = assemble(
+            """
+                movi r1, 3
+                st   r1, 0x10
+                ld   r2, 0x10
+                addi r2, r2, 10
+                st   r2, 0x14
+                ld   r3, 0x14
+                rmw.add r4, 0x10, r1
+                ld   r5, 0x10
+                halt
+            """
+        )
+        r = run1(p, model=model, prefetch=pf, speculation=spec)
+        m = r.machine
+        assert m.reg(0, "r2") == 13
+        assert m.reg(0, "r3") == 13
+        assert m.reg(0, "r4") == 3
+        assert m.reg(0, "r5") == 6
+        assert m.read_word(0x14) == 13
+
+
+class TestConsistencyEnforcement:
+    def producer(self):
+        b = ProgramBuilder()
+        b.store_imm(1, addr=0x10, tag="w1")
+        b.store_imm(2, addr=0x20, tag="w2")
+        b.store_imm(3, addr=0x30, tag="w3")
+        return b.build()
+
+    def test_sc_serializes_stores(self):
+        r_sc = run1(self.producer(), model=SC)
+        r_rc = run1(self.producer(), model=RC)
+        # 3 distinct-line store misses: SC ~300, RC pipelined ~100
+        assert r_sc.cycles > 2.2 * r_rc.cycles
+
+    def test_rc_baseline_stalls_after_acquire(self):
+        b = ProgramBuilder()
+        b.lock_optimistic(addr=0x10, tag="acq")
+        b.load("r1", addr=0x20, tag="data")
+        p = b.build()
+        r = run1(p, model=RC)
+        # load delayed behind the acquire -> ~2 misses serialized
+        assert r.cycles > 190
+        assert r.counter("cpu0/lsu/rs_consistency_stalls") > 0
+
+    def test_speculation_overlaps_load_with_acquire(self):
+        b = ProgramBuilder()
+        b.lock_optimistic(addr=0x10, tag="acq")
+        b.load("r1", addr=0x20, tag="data")
+        p = b.build()
+        r = run1(p, model=RC, speculation=True)
+        assert r.cycles < 130  # overlapped
+
+    def test_wc_pipelines_data_between_syncs(self):
+        b = ProgramBuilder()
+        b.load("r1", addr=0x10)
+        b.load("r2", addr=0x20)
+        b.load("r3", addr=0x30)
+        p = b.build()
+        r_wc = run1(p, model=WC)
+        r_sc = run1(p, model=SC)
+        assert r_wc.cycles < r_sc.cycles / 2
+
+    def test_pc_load_bypasses_store(self):
+        b = ProgramBuilder()
+        b.store_imm(1, addr=0x10)
+        b.load("r1", addr=0x20)
+        p = b.build()
+        r_pc = run1(p, model=PC)
+        r_sc = run1(p, model=SC)
+        assert r_pc.cycles < r_sc.cycles - 50  # load overlapped the store miss
+
+    def test_release_waits_for_previous_stores(self):
+        b = ProgramBuilder()
+        b.store_imm(1, addr=0x10, tag="data")
+        b.release_store_imm(1, addr=0x20, tag="rel")
+        p = b.build()
+        r = run1(p, model=RC)
+        # release cannot complete before the data store: ~2 serialized misses
+        assert r.cycles > 190
+
+
+class TestPrefetchTechnique:
+    def test_exclusive_prefetch_for_delayed_stores(self):
+        b = ProgramBuilder()
+        b.lock_optimistic(addr=0x10, tag="lock")
+        b.store_imm(1, addr=0x20, tag="wA")
+        b.store_imm(1, addr=0x30, tag="wB")
+        p = b.build()
+        base = run1(p, model=SC)
+        pf = run1(p, model=SC, prefetch=True)
+        assert pf.cycles < base.cycles / 2
+        assert pf.counter("cpu0/prefetcher/exclusive") >= 2
+
+    def test_prefetch_never_changes_results(self):
+        p = assemble(
+            """
+                movi r1, 9
+                st   r1, 0x10
+                ld   r2, 0x10
+                halt
+            """
+        )
+        base = run1(p, model=SC)
+        pf = run1(p, model=SC, prefetch=True)
+        assert base.machine.reg(0, "r2") == pf.machine.reg(0, "r2") == 9
+
+
+class TestMultiprocessor:
+    def test_message_passing_with_sync_is_correct(self):
+        producer = (ProgramBuilder()
+                    .store_imm(42, addr=0x10, tag="data")
+                    .release_store_imm(1, addr=0x20, tag="flag")
+                    .build())
+        consumer = (ProgramBuilder()
+                    .spin_until_set(addr=0x20, tag="wait flag")
+                    .load("r5", addr=0x10, tag="read data")
+                    .build())
+        for model in (SC, RC):
+            for spec in (False, True):
+                r = run_workload([producer, consumer], model=model,
+                                 speculation=spec, prefetch=spec,
+                                 max_cycles=200_000)
+                assert r.machine.reg(1, "r5") == 42, f"{model.name} spec={spec}"
+
+    @pytest.mark.parametrize("model", [SC, RC], ids=lambda m: m.name)
+    @pytest.mark.parametrize("spec", [False, True], ids=["base", "spec"])
+    def test_spin_lock_mutual_exclusion(self, model, spec):
+        """Two CPUs increment a shared counter under a test&set lock."""
+        LOCK, COUNTER, ITERS = 0x10, 0x20, 4
+
+        def worker():
+            b = ProgramBuilder()
+            b.mov_imm("r9", ITERS)
+            b.label("again")
+            b.lock(addr=LOCK)
+            b.load("r1", addr=COUNTER)
+            b.add_imm("r1", "r1", 1)
+            b.store("r1", addr=COUNTER)
+            b.unlock(addr=LOCK)
+            b.alu("sub", "r9", "r9", imm=1)
+            b.branch_nonzero("r9", "again", predict_taken=True)
+            return b.build()
+
+        r = run_workload([worker(), worker()], model=model,
+                         speculation=spec, prefetch=spec,
+                         max_cycles=500_000)
+        assert r.machine.read_word(COUNTER) == 2 * ITERS
+        assert r.machine.read_word(LOCK) == 0  # finally released
+
+    def test_two_writers_one_location_last_value_wins(self):
+        w0 = ProgramBuilder().store_imm(1, addr=0x40).build()
+        w1 = ProgramBuilder().store_imm(2, addr=0x40).build()
+        r = run_workload([w0, w1], model=SC, max_cycles=100_000)
+        assert r.machine.read_word(0x40) in (1, 2)
+
+    def test_dekker_under_sc_never_both_zero(self):
+        t0 = (ProgramBuilder()
+              .store_imm(1, addr=0x10, tag="wx")
+              .load("r1", addr=0x20, tag="ry")
+              .build())
+        t1 = (ProgramBuilder()
+              .store_imm(1, addr=0x20, tag="wy")
+              .load("r2", addr=0x10, tag="rx")
+              .build())
+        for spec in (False, True):
+            r = run_workload([t0, t1], model=SC, speculation=spec,
+                             prefetch=spec, max_cycles=100_000)
+            both_zero = (r.machine.reg(0, "r1") == 0
+                         and r.machine.reg(1, "r2") == 0)
+            assert not both_zero, f"SC violated with spec={spec}"

@@ -1,0 +1,98 @@
+"""Tests for the Gantt renderer and the run CLI."""
+
+import pytest
+
+from repro import SC, AnalyticalTimingModel
+from repro.analysis import compare_schedules, render_schedule
+from repro.workloads import example1_segment, example2_segment
+
+
+class TestGantt:
+    def schedule(self, **kw):
+        return AnalyticalTimingModel().schedule(example2_segment(), SC, **kw)
+
+    def test_renders_all_accesses(self):
+        text = render_schedule(self.schedule())
+        for label in ("lock L", "read C", "read D", "read E[D]", "unlock L"):
+            assert label in text
+
+    def test_marks_prefetches(self):
+        text = render_schedule(self.schedule(prefetch=True))
+        assert "p" in text and "prefetch in flight" in text
+
+    def test_marks_speculative_loads(self):
+        text = render_schedule(self.schedule(speculation=True))
+        assert "*" in text and "speculative" in text
+
+    def test_bars_reflect_cycle_windows(self):
+        res = self.schedule()
+        text = render_schedule(res, width=res.total_cycles)  # 1 col = 1 cycle
+        lock_line = next(l for l in text.splitlines() if l.startswith("lock L"))
+        bar = lock_line.split("|")[1]
+        assert bar.count("#") == 100  # the lock's full miss window
+
+    def test_compare_stacks_multiple(self):
+        engine = AnalyticalTimingModel()
+        results = [engine.schedule(example1_segment(), SC),
+                   engine.schedule(example1_segment(), SC, prefetch=True)]
+        text = compare_schedules(results)
+        assert text.count("301 cycles") == 1
+        assert text.count("103 cycles") == 1
+
+    def test_issue_complete_annotation(self):
+        text = render_schedule(self.schedule())
+        assert "1..100" in text   # the lock
+        assert "302..302" in text  # the unlock
+
+
+class TestRunCli:
+    def write_program(self, tmp_path, name, source):
+        path = tmp_path / name
+        path.write_text(source)
+        return str(path)
+
+    def test_single_program(self, tmp_path, capsys):
+        from repro.run import main
+        path = self.write_program(tmp_path, "p.s",
+                                  "movi r1, 5\nst r1, 0x40\nld r2, 0x40\nhalt\n")
+        assert main([path, "--watch", "0x40", "--regs", "r2"]) == 0
+        out = capsys.readouterr().out
+        assert "MEM[0x40] = 5" in out
+        assert "r2=5" in out
+        assert "completed in" in out
+
+    def test_two_programs_with_model_and_techniques(self, tmp_path, capsys):
+        from repro.run import main
+        prod = self.write_program(tmp_path, "prod.s",
+                                  "movi r1, 9\nst r1, 0x40\nst.rel r1, 0x80\nhalt\n")
+        cons = self.write_program(
+            tmp_path, "cons.s",
+            "spin:\nld.acq r2, 0x80\nbeqz r2, spin !taken\nld r3, 0x40\nhalt\n")
+        assert main([prod, cons, "--model", "rc", "--prefetch",
+                     "--speculation", "--regs", "r3"]) == 0
+        out = capsys.readouterr().out
+        assert "cpu1: r3=9" in out
+
+    def test_init_memory_and_stats(self, tmp_path, capsys):
+        from repro.run import main
+        path = self.write_program(tmp_path, "p.s", "ld r1, 0x40\nhalt\n")
+        assert main([path, "--init", "0x40=77", "--regs", "r1",
+                     "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "r1=77" in out
+        assert "cpu0/instructions_retired" in out
+
+    def test_bad_init_rejected(self, tmp_path):
+        from repro.run import main
+        path = self.write_program(tmp_path, "p.s", "halt\n")
+        with pytest.raises(SystemExit):
+            main([path, "--init", "banana"])
+
+    def test_trace_flag_prints_events(self, tmp_path, capsys):
+        from repro.run import main
+        path = self.write_program(tmp_path, "p.s",
+                                  "movi r1, 1\nst r1, 0x40\nhalt\n")
+        assert main([path, "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "--- trace ---" in out
+        assert "store_issue" in out

@@ -1,0 +1,158 @@
+"""Tests for the trace-driven frontend."""
+
+import io
+
+import pytest
+
+from repro.consistency import RC, SC
+from repro.core import AnalyticalTimingModel
+from repro.isa import ProgramBuilder
+from repro.sim.errors import SimulationError
+from repro.workloads import (
+    AccessTrace,
+    DirectMappedFilter,
+    TraceRecord,
+    example2_program,
+    trace_from_program,
+    trace_to_segment,
+)
+
+
+class TestTraceRecord:
+    def test_roundtrip_plain(self):
+        r = TraceRecord("R", 0x100)
+        assert TraceRecord.from_line(r.to_line()) == r
+
+    def test_roundtrip_flags_and_dep(self):
+        r = TraceRecord("U", 0x40, acquire=True, release=True, depends_on=3)
+        assert TraceRecord.from_line(r.to_line()) == r
+
+    def test_rejects_bad_op(self):
+        with pytest.raises(SimulationError):
+            TraceRecord("X", 0)
+
+    def test_rejects_malformed_line(self):
+        with pytest.raises(SimulationError):
+            TraceRecord.from_line("R 0x10")
+        with pytest.raises(SimulationError):
+            TraceRecord.from_line("R 0x10 - junk")
+
+    def test_access_class(self):
+        k = TraceRecord("U", 0, acquire=True).access_class()
+        assert k.is_load and k.is_store and k.acquire
+
+
+class TestAccessTrace:
+    def test_append_rejects_future_dependence(self):
+        t = AccessTrace("t")
+        with pytest.raises(SimulationError):
+            t.append(TraceRecord("R", 0, depends_on=0))
+
+    def test_dump_and_load_roundtrip(self):
+        t = AccessTrace("mytrace")
+        t.append(TraceRecord("W", 0x10))
+        t.append(TraceRecord("R", 0x10, acquire=True, depends_on=0))
+        loaded = AccessTrace.load(t.dumps())
+        assert loaded.name == "mytrace"
+        assert loaded.records == t.records
+
+    def test_load_skips_comments_and_blanks(self):
+        text = "# comment\n\nR 0x10 -\n"
+        assert len(AccessTrace.load(text)) == 1
+
+    def test_stats(self):
+        t = AccessTrace("t")
+        t.append(TraceRecord("W", 0, release=True))
+        t.append(TraceRecord("R", 4, acquire=True))
+        t.append(TraceRecord("U", 8))
+        s = t.stats()
+        assert s["accesses"] == 3
+        assert s["acquires"] == 1 and s["releases"] == 1 and s["rmws"] == 1
+
+
+class TestTraceCapture:
+    def test_captures_example2_accesses(self):
+        wl = example2_program()
+        trace = trace_from_program(wl.program, wl.initial_memory)
+        ops = [r.op for r in trace]
+        assert ops == ["U", "R", "R", "R", "W"]  # lock, C, D, E[D], unlock
+        assert trace.records[0].acquire
+        assert trace.records[-1].release
+
+    def test_captures_address_dependence(self):
+        wl = example2_program()
+        trace = trace_from_program(wl.program, wl.initial_memory)
+        # read E[D] (index 3) depends on read D (index 2)
+        assert trace.records[3].depends_on == 2
+
+    def test_addresses_resolved_through_registers(self):
+        p = (ProgramBuilder()
+             .load("r1", addr=0x10)          # r1 = 3
+             .load("r2", base="r1", addr=0x20)  # -> 0x23
+             .build())
+        trace = trace_from_program(p, {0x10: 3})
+        assert trace.records[1].addr == 0x23
+        assert trace.records[1].depends_on == 0
+
+    def test_loops_unrolled_into_trace(self):
+        p = (ProgramBuilder()
+             .mov_imm("r2", 3)
+             .label("loop")
+             .load("r1", addr=0x40)
+             .alu("sub", "r2", "r2", imm=1)
+             .branch_nonzero("r2", "loop")
+             .build())
+        trace = trace_from_program(p)
+        assert len(trace) == 3
+
+    def test_dependence_propagates_through_alu(self):
+        p = (ProgramBuilder()
+             .load("r1", addr=0x10)
+             .add_imm("r2", "r1", 4)
+             .load("r3", base="r2", addr=0)
+             .build())
+        trace = trace_from_program(p, {0x10: 8})
+        assert trace.records[1].addr == 12
+        assert trace.records[1].depends_on == 0
+
+
+class TestTraceDrivenAnalysis:
+    def test_direct_mapped_filter(self):
+        f = DirectMappedFilter(num_sets=2, line_size=4)
+        assert not f.access(0x0)     # cold miss
+        assert f.access(0x1)         # same line
+        assert not f.access(0x8)     # maps to set 0... line 2 -> set 0
+        assert not f.access(0x0)     # evicted
+
+    def test_trace_to_segment_preserves_structure(self):
+        wl = example2_program()
+        trace = trace_from_program(wl.program, wl.initial_memory)
+        segment = trace_to_segment(trace)
+        assert len(segment) == 5
+        assert segment[3].deps == ("t2",)
+        assert segment[0].klass.acquire
+
+    def test_trace_driven_schedule_matches_paper_shape(self):
+        """Capture example2, re-classify hits with a warm filter seeded
+        so D hits (as the paper declares), and check the schedule."""
+        wl = example2_program()
+        trace = trace_from_program(wl.program, wl.initial_memory)
+        f = DirectMappedFilter()
+        f.access(80)  # warm D's line
+        segment = trace_to_segment(trace, hit_filter=f)
+        engine = AnalyticalTimingModel()
+        sc = engine.schedule(segment, SC).total_cycles
+        spec = engine.schedule(segment, SC, prefetch=True,
+                               speculation=True).total_cycles
+        # unlock is classified by the filter rather than declared hit,
+        # so totals differ slightly from the paper's 302/104 — but the
+        # ~3x structure must hold
+        assert sc > 2.5 * spec
+
+    def test_trace_driven_rc_faster_than_sc(self):
+        wl = example2_program()
+        trace = trace_from_program(wl.program, wl.initial_memory)
+        segment = trace_to_segment(trace)
+        engine = AnalyticalTimingModel()
+        assert (engine.schedule(segment, RC).total_cycles
+                <= engine.schedule(segment, SC).total_cycles)

@@ -1,0 +1,135 @@
+"""Uncached (Appendix A non-cached) locations: atomically at the home."""
+
+import pytest
+
+from repro.consistency import RC, SC
+from repro.isa import ProgramBuilder, assemble, interpret
+from repro.memory import CacheConfig, LineState
+from repro.system import run_workload
+
+UNCACHED = ((0x1000, 0x1100),)
+
+
+def cfg():
+    return CacheConfig(uncached_ranges=UNCACHED)
+
+
+class TestUncachedBasics:
+    def test_uncached_roundtrip(self):
+        p = assemble("""
+            movi r1, 7
+            st   r1, 0x1000
+            ld   r2, 0x1000
+            halt
+        """)
+        result = run_workload([p], model=SC, cache=cfg())
+        assert result.machine.reg(0, "r2") == 7
+        assert result.machine.fabric.directory.read_word(0x1000) == 7
+
+    def test_uncached_rmw_semantics(self):
+        p = assemble("""
+            movi r3, 5
+            rmw.add r1, 0x1000, r3
+            rmw.ts  r2, 0x1004
+            halt
+        """)
+        result = run_workload([p], model=SC, cache=cfg(),
+                              initial_memory={0x1000: 10})
+        assert result.machine.reg(0, "r1") == 10
+        assert result.machine.reg(0, "r2") == 0
+        assert result.machine.fabric.directory.read_word(0x1000) == 15
+        assert result.machine.fabric.directory.read_word(0x1004) == 1
+
+    def test_uncached_line_never_enters_cache(self):
+        p = assemble("ld r1, 0x1000\nld r2, 0x1000\nhalt")
+        result = run_workload([p], model=SC, cache=cfg(),
+                              initial_memory={0x1000: 3})
+        cache = result.machine.fabric.caches[0]
+        assert cache.line_state(0x1000) is LineState.INVALID
+        assert result.machine.reg(0, "r2") == 3
+
+    def test_prefetch_to_uncached_discarded(self):
+        p = assemble("pf.x 0x1000\nhalt")
+        result = run_workload([p], model=SC, cache=cfg(), prefetch=True)
+        assert result.counter("cache0/prefetches_issued") == 0
+        assert result.counter("cache0/prefetches_discarded") >= 1
+
+    def test_matches_interpreter_under_all_configs(self):
+        p = assemble("""
+            movi r1, 2
+            st   r1, 0x1000
+            rmw.add r2, 0x1000, r1
+            ld   r3, 0x1000
+            st   r3, 0x40
+            ld   r4, 0x40
+            halt
+        """)
+        expected = interpret(p)
+        for model in (SC, RC):
+            for spec in (False, True):
+                result = run_workload([p], model=model, prefetch=spec,
+                                      speculation=spec, cache=cfg())
+                for reg in ("r2", "r3", "r4"):
+                    assert result.machine.reg(0, reg) == expected.reg(reg), \
+                        (model.name, spec, reg)
+
+
+class TestUncachedNoSpeculation:
+    def test_no_speculative_read_for_uncached_rmw(self):
+        """Appendix A: 'there is no speculative load for non-cached
+        read-modify-write accesses' — no SLB traffic for them."""
+        b = ProgramBuilder()
+        b.rmw("r1", addr=0x1000, op="ts", acquire=True, tag="uncached lock")
+        p = b.build()
+        result = run_workload([p], model=SC, speculation=True, cache=cfg())
+        assert result.counter("cpu0/slb/inserted") == 0
+
+    def test_uncached_load_delayed_conventionally(self):
+        """An uncached load cannot be monitored, so even with
+        speculation on it waits for the consistency model."""
+        b = ProgramBuilder()
+        b.rmw("r9", addr=0x40, op="ts", acquire=True, tag="lock")  # cached
+        b.load("r1", addr=0x1000, tag="uncached data")
+        p = b.build()
+        spec = run_workload([p], model=SC, speculation=True, cache=cfg())
+        # the uncached load waits for the lock: ~two serialized misses
+        assert spec.cycles > 190
+        assert spec.counter("cpu0/lsu/rs_consistency_stalls") > 0
+
+    def test_cached_loads_still_speculate_alongside(self):
+        b = ProgramBuilder()
+        b.rmw("r9", addr=0x40, op="ts", acquire=True, tag="lock")
+        b.load("r1", addr=0x80, tag="cached data")
+        p = b.build()
+        result = run_workload([p], model=SC, speculation=True, cache=cfg())
+        assert result.counter("cpu0/slb/inserted") >= 1
+        assert result.cycles < 160  # overlapped
+
+
+class TestUncachedMultiprocessor:
+    def test_uncached_lock_mutual_exclusion(self):
+        """A lock living at an uncached address: the home node's
+        serialization is what makes the test&set atomic."""
+        LOCK, COUNTER, ITERS = 0x1000, 0x40, 2
+
+        def worker():
+            b = ProgramBuilder()
+            b.mov_imm("r9", ITERS)
+            b.label("again")
+            b.lock(addr=LOCK)
+            b.load("r1", addr=COUNTER)
+            b.add_imm("r1", "r1", 1)
+            b.store("r1", addr=COUNTER)
+            b.unlock(addr=LOCK)
+            b.alu("sub", "r9", "r9", imm=1)
+            b.branch_nonzero("r9", "again", predict_taken=True)
+            return b.build()
+
+        for spec in (False, True):
+            result = run_workload([worker(), worker()], model=SC,
+                                  speculation=spec, prefetch=spec,
+                                  cache=cfg(),
+                                  initial_memory={LOCK: 0, COUNTER: 0},
+                                  max_cycles=5_000_000)
+            assert result.machine.read_word(COUNTER) == 2 * ITERS, f"spec={spec}"
+            assert result.machine.fabric.directory.read_word(LOCK) == 0
