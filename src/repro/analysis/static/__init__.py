@@ -1,0 +1,47 @@
+"""Static analysis of litmus programs (the DRF theorem, applied).
+
+The paper's Section 6 extends the speculative-load buffer into a
+*dynamic* race detector; its theoretical basis (Gharachorloo & Gibbons,
+SPAA 1991) is that a release-consistent machine is sequentially
+consistent for data-race-free programs.  This package supplies the
+*static* half of that story:
+
+* :mod:`racecheck` — analyze :class:`~repro.isa.program.Program`
+  objects before simulation: find conflicting access pairs across
+  processors and classify each, under a consistency model's delay
+  rules, as *ordered-by-sync*, *fence-fixable*, or *racy*, with
+  fence/labeling suggestions that restore SC-equivalence;
+* :mod:`sanitizer` — check a recorded
+  :class:`~repro.sim.trace.TraceRecorder` stream against simulator
+  invariants (in-order retirement, bound loads, store-buffer FIFO,
+  speculative-load correction, single ownership);
+* :mod:`crosscheck` — run the static analyzer and the dynamic
+  :class:`~repro.core.sc_detection.ScViolationDetector` over the same
+  litmus suite and report agreement (static-racy must cover every
+  dynamically-flagged access).
+"""
+
+from .diagnostics import AnalysisReport, Diagnostic, FenceSuggestion, Severity
+from .program_model import StaticAccess, ThreadModel
+from .racecheck import ClassifiedPair, PairClass, analyze_programs, apply_fence_suggestions
+from .sanitizer import InvariantViolation, SanitizerReport, sanitize_trace
+from .crosscheck import CrossCase, CrossReport, cross_validate
+
+__all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "FenceSuggestion",
+    "Severity",
+    "StaticAccess",
+    "ThreadModel",
+    "ClassifiedPair",
+    "PairClass",
+    "analyze_programs",
+    "apply_fence_suggestions",
+    "InvariantViolation",
+    "SanitizerReport",
+    "sanitize_trace",
+    "CrossCase",
+    "CrossReport",
+    "cross_validate",
+]

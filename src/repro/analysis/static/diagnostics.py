@@ -1,0 +1,176 @@
+"""Structured diagnostics for the static analyzer.
+
+Every finding is a :class:`Diagnostic` — machine-readable (kind,
+severity, sites, suggestion) so tests, the CLI, and CI can all consume
+the same records; :class:`AnalysisReport` aggregates them together with
+the analyzer's conclusions about the program as a whole.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+
+class Severity(enum.Enum):
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Site:
+    """A program location a diagnostic points at."""
+
+    cpu: int
+    pc: int
+    tag: str
+    addr: Optional[int] = None
+
+    def describe(self) -> str:
+        where = f"cpu{self.cpu}:pc{self.pc}"
+        what = self.tag or (hex(self.addr) if self.addr is not None else "?")
+        return f"{where} ({what})"
+
+
+@dataclass(frozen=True)
+class FenceSuggestion:
+    """Insert a full fence (``rmw`` acquire+release) between two
+    program points to restore the program-order edge the model drops."""
+
+    cpu: int
+    after_pc: int
+    before_pc: int
+    after_tag: str = ""
+    before_tag: str = ""
+    #: alternative fix when labeling suffices (e.g. "st.rel" / "ld.acq")
+    label_hint: str = ""
+
+    def describe(self) -> str:
+        text = (f"cpu{self.cpu}: insert fence between pc{self.after_pc} "
+                f"({self.after_tag}) and pc{self.before_pc} ({self.before_tag})")
+        if self.label_hint:
+            text += f" — or {self.label_hint}"
+        return text
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a race, a missing fence, or a suspicious idiom."""
+
+    kind: str                    # "data-race" | "fence-fixable" | "ineffective-sync" | ...
+    severity: Severity
+    message: str
+    sites: Tuple[Site, ...] = ()
+    suggestion: str = ""
+    fences: Tuple[FenceSuggestion, ...] = ()
+    model: str = ""
+
+    def describe(self) -> str:
+        head = f"[{self.severity.value}] {self.kind}: {self.message}"
+        lines = [head]
+        for s in self.sites:
+            lines.append(f"    at {s.describe()}")
+        if self.suggestion:
+            lines.append(f"    fix: {self.suggestion}")
+        for f in self.fences:
+            lines.append(f"    fix: {f.describe()}")
+        return "\n".join(lines)
+
+
+@dataclass
+class AnalysisReport:
+    """Everything the race/ordering analyzer concluded about one
+    multiprocessor program under one consistency model."""
+
+    model: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: per-CPU: does the model (transitively) enforce full program order
+    #: between that thread's shared accesses?
+    po_fully_enforced: List[bool] = field(default_factory=list)
+    #: is every execution guaranteed sequentially consistent?  True when
+    #: the model is itself SC, when every conflicting pair is ordered by
+    #: synchronization, or when the residual races only involve threads
+    #: whose program order the model fully enforces (order route).
+    sc_guaranteed: bool = True
+    notes: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def add(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+
+    def by_kind(self, *kinds: str) -> List[Diagnostic]:
+        wanted = set(kinds)
+        return [d for d in self.diagnostics if d.kind in wanted]
+
+    def races(self) -> List[Diagnostic]:
+        """The SC-threatening findings (racy or fence-fixable pairs)."""
+        return self.by_kind("data-race", "fence-fixable")
+
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors()
+
+    def racy_sites(self) -> Set[Tuple[int, Optional[int]]]:
+        """``(cpu, addr)`` for every access involved in a race finding
+        (used by the cross-validation hook)."""
+        out: Set[Tuple[int, Optional[int]]] = set()
+        for d in self.races():
+            for s in d.sites:
+                out.add((s.cpu, s.addr))
+        return out
+
+    def flaggable_sites(self) -> Set[Tuple[int, Optional[int]]]:
+        """``(cpu, addr)`` for every access the conservative dynamic
+        detector could legitimately flag: race findings plus competing
+        synchronization (which is allowed to race, yet still perturbs
+        the detector's SC windows)."""
+        out = self.racy_sites()
+        for d in self.by_kind("competing-sync"):
+            for s in d.sites:
+                out.add((s.cpu, s.addr))
+        return out
+
+    def fence_suggestions(self) -> List[FenceSuggestion]:
+        seen: Set[FenceSuggestion] = set()
+        ordered: List[FenceSuggestion] = []
+        for d in self.diagnostics:
+            for f in d.fences:
+                if f not in seen:
+                    seen.add(f)
+                    ordered.append(f)
+        return ordered
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        lines = [f"static analysis under {self.model}:"]
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        if not self.diagnostics:
+            lines.append("  no findings")
+        for d in self.diagnostics:
+            lines.extend("  " + ln for ln in d.describe().splitlines())
+        verdict = ("every execution is sequentially consistent"
+                   if self.sc_guaranteed
+                   else "executions may violate sequential consistency")
+        lines.append(f"  verdict: {verdict}")
+        return "\n".join(lines)
+
+
+def summarize_reports(reports: Sequence[AnalysisReport]) -> str:
+    """One-line-per-model digest for CLI output."""
+    lines = []
+    for r in reports:
+        races = len(r.races())
+        warns = len(r.warnings())
+        sc = "SC-safe" if r.sc_guaranteed else "NOT SC-safe"
+        lines.append(f"{r.model:>5}: {races} race finding(s), "
+                     f"{warns} warning(s) — {sc}")
+    return "\n".join(lines)

@@ -32,32 +32,48 @@ Outcome = Tuple[Tuple[str, int], ...]
 class LitmusOp:
     """One access in a litmus thread.
 
-    ``op`` is ``"R"`` or ``"W"``.  Reads name a destination register
-    (unique across the whole test); writes carry a value.
+    ``op`` is ``"R"``, ``"W"``, or ``"F"`` (a full fence).  Reads name a
+    destination register (unique across the whole test); writes carry a
+    value; fences touch no shared location — they only constrain the
+    linearization (and compile to an acquire+release RMW on a private
+    line).
     """
 
     op: str
-    addr: str
+    addr: str = ""
     value: int = 0
     reg: str = ""
     acquire: bool = False
     release: bool = False
 
     def __post_init__(self) -> None:
-        if self.op not in ("R", "W"):
-            raise ConfigurationError(f"litmus op must be 'R' or 'W', got {self.op!r}")
+        if self.op not in ("R", "W", "F"):
+            raise ConfigurationError(
+                f"litmus op must be 'R', 'W', or 'F', got {self.op!r}")
         if self.op == "R" and not self.reg:
             raise ConfigurationError("litmus reads need a destination register name")
+        if self.op == "F":
+            if self.acquire or self.release or self.addr or self.reg:
+                raise ConfigurationError("a fence is already a full sync; "
+                                         "it takes no address, register, or flags")
+            return
         if self.acquire and self.op != "R":
             raise ConfigurationError("acquire must be a read")
         if self.release and self.op != "W":
             raise ConfigurationError("release must be a write")
 
     def access_class(self) -> AccessClass:
+        if self.op == "F":
+            # acquire+release RMW: a delay arc to and from everything
+            # under every model
+            return AccessClass(is_load=True, is_store=True,
+                               acquire=True, release=True)
         return AccessClass(is_load=self.op == "R", is_store=self.op == "W",
                            acquire=self.acquire, release=self.release)
 
     def describe(self) -> str:
+        if self.op == "F":
+            return "F"
         flags = ".acq" if self.acquire else (".rel" if self.release else "")
         if self.op == "R":
             return f"R{flags} {self.addr} -> {self.reg}"
@@ -70,6 +86,10 @@ def read(addr: str, reg: str, acquire: bool = False) -> LitmusOp:
 
 def write(addr: str, value: int, release: bool = False) -> LitmusOp:
     return LitmusOp(op="W", addr=addr, value=value, release=release)
+
+
+def fence() -> LitmusOp:
+    return LitmusOp(op="F")
 
 
 @dataclass
@@ -118,7 +138,9 @@ class LitmusTest:
                 if done[k] or any(not done[p] for p in preds[k]):
                     continue
                 new_done = done[:k] + (True,) + done[k + 1:]
-                if op.op == "W":
+                if op.op == "F":
+                    dfs(new_done, memory, regs)
+                elif op.op == "W":
                     new_memory = dict(memory)
                     new_memory[op.addr] = op.value
                     dfs(new_done, new_memory, regs)
@@ -138,6 +160,92 @@ class LitmusTest:
 
     def forbids(self, model: ConsistencyModel, **partial: int) -> bool:
         return not self.allows(model, **partial)
+
+    # ------------------------------------------------------------------
+    def with_fences(self, positions: Optional[Dict[int, Sequence[int]]] = None,
+                    suffix: str = "+fences") -> "LitmusTest":
+        """A copy with full fences inserted.
+
+        ``positions`` maps a thread index to the op indices *before
+        which* a fence goes; ``None`` fences every gap of every thread
+        (the brute-force way to restore SC on any model).
+        """
+        threads: List[List[LitmusOp]] = []
+        for t, ops in enumerate(self.threads):
+            if positions is None:
+                where = set(range(1, len(ops)))
+            else:
+                where = set(positions.get(t, ()))
+            out: List[LitmusOp] = []
+            for i, op in enumerate(ops):
+                if i in where:
+                    out.append(fence())
+                out.append(op)
+            threads.append(out)
+        return LitmusTest(name=self.name + suffix, threads=threads,
+                          initial=dict(self.initial))
+
+    # ------------------------------------------------------------------
+    #: symbolic litmus locations -> concrete word addresses (distinct
+    #: cache lines for the default 4-word line)
+    ADDR_MAP = {"x": 0x100, "y": 0x110, "data": 0x120, "flag": 0x130,
+                "L": 0x140}
+    #: per-thread audit slots: read results are stored here post-run
+    AUDIT_BASE = 0x800
+    #: per-thread private fence lines
+    FENCE_BASE = 0xF00
+
+    def to_programs(self, delays: Sequence[int] = (),
+                    addr_map: Optional[Dict[str, int]] = None,
+                    audit: bool = True) -> Tuple[List["Program"], Dict[str, int]]:
+        """Compile each thread to an ISA :class:`Program`.
+
+        Reads land in distinct registers; with ``audit`` each read
+        register is stored to a private audit slot so the outcome can be
+        read back from memory after a detailed-machine run.  Returns
+        ``(programs, audit_map)`` where ``audit_map`` maps litmus
+        register names to their slot addresses.  ``delays`` skews the
+        threads' start times with dependent-ALU chains.
+        """
+        from ..isa.program import ProgramBuilder  # local: isa must not import consistency
+
+        addrs = addr_map or self.ADDR_MAP
+        programs: List[Program] = []
+        audit_map: Dict[str, int] = {}
+        for tid, ops in enumerate(self.threads):
+            b = ProgramBuilder()
+            delay = delays[tid % len(delays)] if delays else 0
+            if delay:
+                b.mov_imm("r20", 0)
+                for _ in range(delay):
+                    b.add_imm("r20", "r20", 1)
+            audits: List[Tuple[str, str]] = []
+            for i, op in enumerate(ops):
+                if op.op == "F":
+                    b.fence(addr=self.FENCE_BASE + 0x10 * tid, tag="fence")
+                elif op.op == "W":
+                    b.mov_imm("r9", op.value)
+                    b.store("r9", addr=addrs[op.addr], release=op.release,
+                            tag=f"W {op.addr}")
+                else:
+                    reg = f"r{1 + i}"
+                    b.load(reg, addr=addrs[op.addr], acquire=op.acquire,
+                           tag=f"R {op.addr}")
+                    audits.append((op.reg, reg))
+            if audit:
+                for j, (litmus_reg, isa_reg) in enumerate(audits):
+                    slot = self.AUDIT_BASE + 0x40 * tid + 4 * j
+                    b.store(isa_reg, addr=slot, tag=f"audit {litmus_reg}")
+                    audit_map[litmus_reg] = slot
+            programs.append(b.build())
+        return programs, audit_map
+
+    def addresses(self, addr_map: Optional[Dict[str, int]] = None) -> Dict[str, int]:
+        """The concrete addresses :meth:`to_programs` uses for this
+        test's shared locations."""
+        addrs = addr_map or self.ADDR_MAP
+        return {op.addr: addrs[op.addr]
+                for t in self.threads for op in t if op.op != "F"}
 
 
 # ----------------------------------------------------------------------
@@ -274,3 +382,19 @@ STANDARD_TESTS = {
     "WRC": write_to_read_causality,
     "SB+sync": sb_with_sync,
 }
+
+
+def cross_validate_suite(tests: Optional[Sequence[LitmusTest]] = None,
+                         models: Optional[Sequence[ConsistencyModel]] = None):
+    """Run the static race analyzer and the dynamic SC-violation
+    detector over the same litmus suite and report their agreement
+    (every dynamically flagged line must be statically predicted).
+
+    Thin hook over :func:`repro.analysis.static.crosscheck.cross_validate`
+    (imported lazily — the analysis package depends on this module).
+    """
+    from ..analysis.static.crosscheck import cross_validate
+
+    if tests is None:
+        tests = [fn() for fn in STANDARD_TESTS.values()]
+    return cross_validate(tests, models=models)

@@ -32,8 +32,8 @@ racy executions while staying silent on race-free ones in practice.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List
 
 from ..memory.types import SnoopKind
 from ..sim.stats import StatsRegistry
@@ -70,6 +70,9 @@ class ScViolationDetector:
     def __init__(self, stats: StatsRegistry, name: str = "sc_detector",
                  max_recorded: int = 64) -> None:
         self._entries: "OrderedDict[int, MonitorEntry]" = OrderedDict()
+        #: secondary index so a snoop only scans entries on its line;
+        #: each bucket keeps the window's insertion (program) order
+        self._by_line: Dict[int, "OrderedDict[int, MonitorEntry]"] = {}
         self.violations: List[PotentialViolation] = []
         self.max_recorded = max_recorded
         self.stat_monitored = stats.counter(f"{name}/accesses_monitored")
@@ -85,9 +88,10 @@ class ScViolationDetector:
         """Begin monitoring an access (called in program order)."""
         if seq in self._entries:
             return
-        self._entries[seq] = MonitorEntry(seq=seq, addr=addr,
-                                          line_addr=line_addr,
-                                          is_store=is_store, tag=tag)
+        entry = MonitorEntry(seq=seq, addr=addr, line_addr=line_addr,
+                             is_store=is_store, tag=tag)
+        self._entries[seq] = entry
+        self._by_line.setdefault(line_addr, OrderedDict())[seq] = entry
         self.stat_monitored.inc()
 
     def mark_performed(self, seq: int) -> None:
@@ -98,7 +102,16 @@ class ScViolationDetector:
 
     def discard(self, seq: int) -> None:
         """The access was squashed; it never architecturally happened."""
-        self._entries.pop(seq, None)
+        entry = self._entries.pop(seq, None)
+        if entry is not None:
+            self._unindex(entry)
+
+    def _unindex(self, entry: MonitorEntry) -> None:
+        bucket = self._by_line.get(entry.line_addr)
+        if bucket is not None:
+            bucket.pop(entry.seq, None)
+            if not bucket:
+                del self._by_line[entry.line_addr]
 
     def _retire_window(self) -> None:
         """Pop entries whose SC window has closed: an access leaves once
@@ -107,13 +120,12 @@ class ScViolationDetector:
             head = next(iter(self._entries.values()))
             if not head.performed:
                 break
-            self._entries.popitem(last=False)
+            _, entry = self._entries.popitem(last=False)
+            self._unindex(entry)
 
     # ------------------------------------------------------------------
     def on_snoop(self, kind: SnoopKind, line_addr: int) -> None:
-        for entry in self._entries.values():
-            if entry.line_addr != line_addr:
-                continue
+        for entry in self._by_line.get(line_addr, {}).values():
             if not entry.performed:
                 # the access has not bound a value yet; whatever it
                 # eventually returns will be current — not a violation

@@ -35,7 +35,7 @@ other processes are writing to the locations used in the examples").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..consistency.access_class import AccessClass

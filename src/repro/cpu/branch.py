@@ -10,7 +10,7 @@ prediction is disabled.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from ..isa.instructions import Branch
 

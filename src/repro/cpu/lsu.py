@@ -28,7 +28,7 @@ from __future__ import annotations
 import enum
 import itertools
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from ..consistency.access_class import AccessClass, classify
@@ -42,7 +42,7 @@ from ..core.speculation import (
     SpeculativeLoadBuffer,
 )
 from ..consistency.access_class import PLAIN_LOAD, PLAIN_STORE
-from ..isa.instructions import Load, Rmw, SoftwarePrefetch, Store
+from ..isa.instructions import Load, SoftwarePrefetch, Store
 from ..memory.cache import LockupFreeCache
 from ..memory.types import AccessKind, AccessRequest, SnoopKind
 from ..sim.kernel import Simulator
@@ -215,7 +215,8 @@ class LoadStoreUnit:
         self._issue_stores(cycle)
         self._issue_loads(cycle)
         if self.slb is not None:
-            self.slb.retire_ready()
+            for seq in self.slb.retire_ready():
+                self.trace.record(cycle, self.name, "slb_retire", seq=seq)
         if self.prefetcher is not None:
             ops, candidates = self._prefetch_candidates()
             issued = self.prefetcher.tick(candidates)
@@ -351,7 +352,8 @@ class LoadStoreUnit:
             return
         (self.stat_rmws if op.is_rmw else self.stat_stores).inc()
         self.trace.record(self.sim.cycle, self.name, "store_issue",
-                          tag=op.tag, seq=op.seq)
+                          tag=op.tag, seq=op.seq, addr=op.addr,
+                          line=self.cache.config.line_addr(op.addr))
 
     def _store_completed(self, op: MemOp, gen: int, value: int, start: int) -> None:
         if op.generation != gen or op.state is not MemState.SB_ISSUED:
@@ -370,7 +372,7 @@ class LoadStoreUnit:
             if op.is_rmw:
                 self.slb.mark_done(op.seq)
         self.trace.record(self.sim.cycle, self.name, "store_complete",
-                          tag=op.tag, seq=op.seq)
+                          tag=op.tag, seq=op.seq, addr=op.addr)
 
     # -- loads -------------------------------------------------------------
     def _issue_loads(self, cycle: int) -> None:
@@ -440,6 +442,9 @@ class LoadStoreUnit:
             is_rmw=op.is_rmw,
             tag=op.tag,
         ))
+        self.trace.record(self.sim.cycle, self.name, "slb_insert",
+                          seq=op.seq, tag=op.tag,
+                          line=self.cache.config.line_addr(op.addr))
         return True
 
     def _send_load(self, op: MemOp, cycle: int, exclusive_hint: bool = False) -> None:
@@ -462,7 +467,7 @@ class LoadStoreUnit:
             return
         self.stat_loads.inc()
         self.trace.record(self.sim.cycle, self.name, "load_issue",
-                          tag=op.tag, seq=op.seq,
+                          tag=op.tag, seq=op.seq, addr=op.addr,
                           speculative=self.slb is not None)
 
     def _load_completed(self, op: MemOp, gen: int, value: int, start: int) -> None:
@@ -482,7 +487,7 @@ class LoadStoreUnit:
         if self.sc_detector is not None:
             self.sc_detector.mark_performed(op.seq)
         self.trace.record(self.sim.cycle, self.name, "load_complete",
-                          tag=op.tag, seq=op.seq, value=value)
+                          tag=op.tag, seq=op.seq, addr=op.addr, value=value)
 
     # -- speculative RMW (Appendix A) ---------------------------------------
     def _issue_speculative_rmw_read(self, op: MemOp) -> None:

@@ -13,7 +13,7 @@ for speculative load accesses").
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
 from ..isa.instructions import (
     Alu,
@@ -118,6 +118,12 @@ class Processor(Component):
                 return
             self.rob.retire_head()
             self.stat_retired.inc()
+            if self.trace.enabled:
+                self.trace.record(
+                    cycle, self.name, "retire",
+                    seq=head.seq, pc=head.pc,
+                    op=type(instr).__name__.lower(),
+                    bound=head.value is not None)
             if head.dst is not None and head.value is not None:
                 self.regfile.write(head.dst, head.value)
             if isinstance(instr, Halt):
@@ -271,7 +277,8 @@ class Processor(Component):
         self.stat_squashes.inc()
         self.stat_squashed.inc(len(squashed))
         self.trace.record(self.sim.cycle, self.name, "squash",
-                          count=len(squashed), refetch_pc=refetch_pc, reason=reason)
+                          count=len(squashed), from_seq=seq,
+                          refetch_pc=refetch_pc, reason=reason)
 
     # ------------------------------------------------------------------
     @property

@@ -11,10 +11,10 @@ head — which is how consistency constraints on stores are enforced.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..isa.instructions import Instruction, destination_register
+from ..isa.instructions import Instruction
 from ..sim.errors import SimulationError
 
 

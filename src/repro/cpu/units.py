@@ -9,7 +9,7 @@ result into the reorder buffer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 from ..isa.instructions import Alu, Branch
 from .rob import Operand, ReorderBuffer, RobEntry

@@ -145,6 +145,18 @@ def _assemble_one(
         return Rmw(dst=args[0], base=base, offset=offset, op=op, src=src,
                    acquire="acq" in flags, release="rel" in flags)
 
+    if mnemonic == "fence":
+        # full fence: an acquire+release test&set on a (private) line;
+        # `fence` alone uses the conventional scratch address 0xF000
+        if len(operands) > 1:
+            raise AssemblerError(line_no, raw, "fence expects at most one operand")
+        if operands:
+            base, offset = _parse_memref(operands[0], line_no, raw)
+        else:
+            base, offset = "r0", 0xF000
+        return Rmw(dst="r31", base=base, offset=offset, op="ts",
+                   acquire=True, release=True, tag="fence")
+
     if mnemonic in ("pf", "pf.x"):
         need(1)
         base, offset = _parse_memref(operands[0], line_no, raw)

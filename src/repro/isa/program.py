@@ -237,6 +237,19 @@ class ProgramBuilder:
         """Release the lock: a release store of zero."""
         return self.release_store_imm(0, addr=addr, tag=tag or f"unlock@{addr}")
 
+    def fence(self, *, addr: int = 0xF000, tag: Optional[str] = None) -> "ProgramBuilder":
+        """A full memory fence.
+
+        The ISA has no dedicated fence instruction; an RMW labeled both
+        acquire *and* release orders everything before it against
+        everything after it under every model (WC treats it as a sync
+        access, RC as acquire+release).  ``addr`` should be a line
+        private to this processor so the fence itself never contends.
+        """
+        scratch = self.SCRATCH[1]
+        return self.rmw(scratch, addr=addr, op="ts", acquire=True,
+                        release=True, tag=tag or "fence")
+
     #: additional scratch registers used by the barrier macro
     BARRIER_SCRATCH = ("r24", "r25", "r26", "r27", "r28")
 

@@ -398,11 +398,13 @@ class LockupFreeCache:
                 line.state = state
                 line.data = list(data)
                 self._touch(line)
+                self._record_fill(line_addr, state)
                 return line
         if len(cache_set) < self.config.assoc:
             line = CacheLine(line_addr=line_addr, state=state, data=list(data))
             self._touch(line)
             cache_set.append(line)
+            self._record_fill(line_addr, state)
             return line
         victims = [
             l for l in cache_set
@@ -416,13 +418,20 @@ class LockupFreeCache:
         victim.state = state
         victim.data = list(data)
         self._touch(victim)
+        self._record_fill(line_addr, state)
         return victim
+
+    def _record_fill(self, line_addr: int, state: LineState) -> None:
+        self.trace.record(self.sim.cycle, f"cache{self.node}", "fill",
+                          line=line_addr, state=state.value)
 
     def _evict(self, line: CacheLine) -> None:
         self.stat_replacements.inc()
-        self._notify_snoop(SnoopKind.REPLACEMENT, line.line_addr)
+        # record before notifying: corrections the snoop listeners emit
+        # must appear after their cause in the trace
         self.trace.record(self.sim.cycle, f"cache{self.node}", "evict",
                           line=line.line_addr, state=line.state.value)
+        self._notify_snoop(SnoopKind.REPLACEMENT, line.line_addr)
         if line.state is LineState.MODIFIED:
             self.stat_writebacks.inc()
             self._writebacks[line.line_addr] = list(line.data)
@@ -486,8 +495,8 @@ class LockupFreeCache:
         line = self._find_line(msg.line_addr)
         if line is not None:
             line.state = LineState.INVALID
-        self._notify_snoop(SnoopKind.INVALIDATION, msg.line_addr)
         self.trace.record(self.sim.cycle, f"cache{self.node}", "inval", line=msg.line_addr)
+        self._notify_snoop(SnoopKind.INVALIDATION, msg.line_addr)
         self._send(MessageKind.INVAL_ACK, msg.line_addr, txn=msg.txn)
 
     def _on_recall(self, msg: Message) -> None:
@@ -498,6 +507,8 @@ class LockupFreeCache:
             self._send(MessageKind.RECALL_ACK, msg.line_addr, txn=msg.txn, data=None)
             return
         line.state = LineState.SHARED
+        self.trace.record(self.sim.cycle, f"cache{self.node}", "downgrade",
+                          line=msg.line_addr)
         self._send(MessageKind.RECALL_ACK, msg.line_addr, txn=msg.txn, data=list(line.data))
 
     def _on_recall_inval(self, msg: Message) -> None:
@@ -507,8 +518,8 @@ class LockupFreeCache:
             if line.state is LineState.MODIFIED:
                 data = list(line.data)
             line.state = LineState.INVALID
-        self._notify_snoop(SnoopKind.INVALIDATION, msg.line_addr)
         self.trace.record(self.sim.cycle, f"cache{self.node}", "inval", line=msg.line_addr)
+        self._notify_snoop(SnoopKind.INVALIDATION, msg.line_addr)
         self._send(MessageKind.RECALL_ACK, msg.line_addr, txn=msg.txn, data=data)
 
     def _on_update(self, msg: Message) -> None:

@@ -10,7 +10,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from .analysis import (
     barrier_scaling_table,
@@ -99,7 +99,7 @@ def generate(selected: List[str], verbose: bool = True) -> str:
     return "\n\n".join(chunks)
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.report",
         description="Regenerate the reproduction's experiment tables.",

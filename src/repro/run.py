@@ -14,8 +14,7 @@ Example::
 from __future__ import annotations
 
 import argparse
-import sys
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from .consistency import get_model
 from .isa import assemble
@@ -33,7 +32,7 @@ def parse_init(pairs: List[str]) -> Dict[int, int]:
     return memory
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.run",
         description="Run assembly programs on the multiprocessor simulator.",
@@ -60,6 +59,11 @@ def main(argv: List[str] = None) -> int:
                         help="print the per-CPU digest (IPC, stalls, ...)")
     parser.add_argument("--trace", action="store_true",
                         help="print the event trace")
+    parser.add_argument("--analyze", action="store_true",
+                        help="run the static race analyzer before simulating")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="check trace invariants after the run "
+                             "(exits non-zero on a violation)")
     args = parser.parse_args(argv)
 
     programs = []
@@ -67,10 +71,16 @@ def main(argv: List[str] = None) -> int:
         with open(path) as fh:
             programs.append(assemble(fh.read()))
 
-    trace = TraceRecorder() if args.trace else None
+    model = get_model(args.model)
+    if args.analyze:
+        from .analysis.static import analyze_programs
+        print(analyze_programs(programs, model).render())
+        print()
+
+    trace = TraceRecorder() if (args.trace or args.sanitize) else None
     result = run_workload(
         programs,
-        model=get_model(args.model),
+        model=model,
         prefetch=args.prefetch,
         speculation=args.speculation,
         miss_latency=args.miss_latency,
@@ -98,6 +108,12 @@ def main(argv: List[str] = None) -> int:
     if args.stats:
         from .sim.stats import format_stats_table
         print(format_stats_table(result.stats.snapshot(), title="statistics"))
+    if args.sanitize and trace is not None:
+        from .analysis.static import sanitize_trace
+        report = sanitize_trace(trace, model=model)
+        print(report.render())
+        if not report.ok:
+            return 1
     return 0
 
 

@@ -8,7 +8,7 @@ can be rendered without any third-party dependency.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 
 class Counter:

@@ -16,11 +16,11 @@ nine paper events found in it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List
 
 from ..consistency.models import SC, ConsistencyModel
 from ..memory.types import CacheConfig, LatencyConfig
-from ..sim.trace import TraceEvent, TraceRecorder
+from ..sim.trace import TraceRecorder
 from ..system.machine import MachineConfig, Multiprocessor
 from .paper_examples import A, B, C, D, E_BASE, figure5_program
 

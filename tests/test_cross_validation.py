@@ -21,56 +21,20 @@ from repro.consistency.litmus import (
     sb_with_sync,
     store_buffering,
 )
-from repro.isa import ProgramBuilder
 from repro.system import run_workload
 
 MODELS = [SC, PC, WC, RC]
 
-#: symbolic litmus locations -> concrete word addresses (distinct lines)
-ADDR = {"x": 0x100, "y": 0x110, "data": 0x120, "flag": 0x130, "L": 0x140}
-
-
-def compile_litmus_thread(ops, delay):
-    """Translate one litmus thread into an ISA program.
-
-    Reads land in distinct registers; a result-publishing store writes
-    each read register to a private audit slot so the outcome can be
-    read back after the run.
-    """
-    b = ProgramBuilder()
-    # start-time skew: a chain of dependent ALU ops
-    if delay:
-        b.mov_imm("r20", 0)
-        for _ in range(delay):
-            b.add_imm("r20", "r20", 1)
-    audits = []
-    for i, op in enumerate(ops):
-        if op.op == "W":
-            b.mov_imm("r9", op.value)
-            b.store("r9", addr=ADDR[op.addr], release=op.release,
-                    tag=f"W {op.addr}")
-        else:
-            reg = f"r{1 + i}"
-            b.load(reg, addr=ADDR[op.addr], acquire=op.acquire,
-                   tag=f"R {op.addr}")
-            audits.append((op.reg, reg))
-    return b, audits
-
 
 def run_litmus_on_machine(test: LitmusTest, model, prefetch, speculation,
                           delays):
-    programs = []
-    audit_map = {}  # litmus reg name -> (cpu, slot addr)
-    for tid, ops in enumerate(test.threads):
-        b, audits = compile_litmus_thread(ops, delays[tid % len(delays)])
-        for j, (litmus_reg, isa_reg) in enumerate(audits):
-            slot = 0x800 + 0x40 * tid + 4 * j
-            b.store(isa_reg, addr=slot, tag=f"audit {litmus_reg}")
-            audit_map[litmus_reg] = slot
-        programs.append(b.build())
+    """Compile via :meth:`LitmusTest.to_programs` and read the outcome
+    back from the audit slots."""
+    programs, audit_map = test.to_programs(delays=delays)
     result = run_workload(programs, model=model, prefetch=prefetch,
                           speculation=speculation, miss_latency=40,
-                          initial_memory={a: 0 for a in ADDR.values()},
+                          initial_memory={a: 0
+                                          for a in test.addresses().values()},
                           max_cycles=1_000_000)
     outcome = tuple(sorted(
         (reg, result.machine.read_word(slot))

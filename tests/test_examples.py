@@ -63,6 +63,13 @@ class TestExamples:
         assert "no potential SC violations" in out
         assert "1 potential SC violation" in out
 
+    def test_static_analysis(self, monkeypatch, capsys):
+        out = run_example("static_analysis", monkeypatch, capsys)
+        assert "data-race" in out
+        assert "sc_guaranteed=True" in out
+        assert "all invariants hold" in out
+        assert "agreement holds on every case" in out
+
     @pytest.mark.slow
     def test_critical_section_study(self, monkeypatch, capsys):
         out = run_example("critical_section_study", monkeypatch, capsys)

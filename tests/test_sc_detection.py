@@ -71,6 +71,59 @@ class TestDetectorUnit:
         assert len(d.violations) == 2
         assert "more" in d.report()
 
+    def test_recording_cap_reports_exact_overflow_count(self):
+        d = ScViolationDetector(StatsRegistry(), max_recorded=1)
+        d.monitor(0, 0, 0, is_store=False)
+        for seq in range(1, 5):
+            d.monitor(seq, 4 * seq, 7, is_store=False)
+            d.mark_performed(seq)
+        d.on_snoop(SnoopKind.INVALIDATION, 7)
+        assert d.stat_violations.value == 4
+        assert len(d.violations) == 1
+        assert "... and 3 more" in d.report()
+
+    def test_discard_after_mark_performed_unindexes(self):
+        """A performed-then-squashed access must vanish from the line
+        index too, while other entries on the same line keep flagging."""
+        d = self.make()
+        d.monitor(0, 0x40, 16, is_store=False)       # keeps windows open
+        d.monitor(1, 0x80, 32, is_store=False, tag="squashed")
+        d.monitor(2, 0x84, 32, is_store=False, tag="survivor")
+        d.mark_performed(1)
+        d.mark_performed(2)
+        d.discard(1)
+        d.on_snoop(SnoopKind.INVALIDATION, 32)
+        assert [v.seq for v in d.violations] == [2]
+
+    def test_snoop_on_other_line_never_flags(self):
+        d = self.make()
+        d.monitor(0, 0x40, 16, is_store=False)
+        d.monitor(1, 0x80, 32, is_store=False)
+        d.mark_performed(1)
+        d.on_snoop(SnoopKind.INVALIDATION, 33)
+        assert not d.flagged
+
+    def test_window_retirement_prunes_line_index(self):
+        """Once the window closes, a snoop on the same line must find
+        nothing — including through the per-line index."""
+        d = self.make()
+        for seq in range(4):
+            d.monitor(seq, 0x40 + 4 * seq, 16, is_store=False)
+        for seq in range(4):
+            d.mark_performed(seq)
+        assert not d._entries and not d._by_line
+        d.on_snoop(SnoopKind.INVALIDATION, 16)
+        assert not d.flagged
+
+    def test_monitor_same_seq_twice_is_idempotent(self):
+        d = self.make()
+        d.monitor(0, 0x40, 16, is_store=False)
+        d.monitor(1, 0x80, 32, is_store=False)
+        d.monitor(1, 0x80, 32, is_store=False)
+        d.mark_performed(1)
+        d.on_snoop(SnoopKind.INVALIDATION, 32)
+        assert d.stat_violations.value == 1
+
 
 class TestDetectorIntegration:
     def detector_stats(self, result, cpu=0):

@@ -1,0 +1,147 @@
+"""Tests for the trace-invariant sanitizer.
+
+Positive: real runs — including the Figure 5 rollback scenario, whose
+trace contains a squashed and re-issued speculative load — must pass
+clean.  Negative: corrupted streams must fail loudly, invariant by
+invariant.
+"""
+
+import pytest
+
+from repro.analysis.static import sanitize_trace
+from repro.consistency import PC, RC, SC, WC
+from repro.isa import ProgramBuilder
+from repro.sim.trace import TraceEvent, TraceRecorder
+from repro.workloads.figure5 import run_figure5
+
+
+def ev(cycle, source, kind, **detail):
+    return TraceEvent(cycle=cycle, source=source, kind=kind, detail=detail)
+
+
+class TestCleanRuns:
+    def test_figure5_trace_is_clean(self):
+        """The paper's rollback scenario: the speculative load of D is
+        hit by an invalidation and re-executed.  The sanitizer must see
+        the correction and stay silent."""
+        result = run_figure5()
+        kinds = {e.kind for e in result.trace.events}
+        assert "slb_insert" in kinds and "retire" in kinds, \
+            "instrumentation missing: sanitizer would be vacuous"
+        report = sanitize_trace(result.trace, model=SC)
+        assert report.ok, report.render()
+        assert report.events_checked > 30
+
+    @pytest.mark.parametrize("model", [SC, PC, WC, RC], ids=lambda m: m.name)
+    def test_producer_consumer_clean_under_all_models(self, model,
+                                                      sanitized_run):
+        producer = (ProgramBuilder()
+                    .store_imm(42, addr=0x40, tag="data")
+                    .release_store_imm(1, addr=0x80, tag="flag")
+                    .build())
+        consumer = (ProgramBuilder()
+                    .spin_until_set(addr=0x80, tag="wait")
+                    .load("r5", addr=0x40, tag="read data")
+                    .build())
+        result = sanitized_run([producer, consumer], model,
+                               speculation=True, prefetch=True,
+                               max_cycles=500_000)
+        assert result.machine.reg(1, "r5") == 42
+        assert result.sanitizer_report.ok
+
+    def test_relaxed_models_skip_store_serialization(self):
+        report = sanitize_trace([], model=RC)
+        assert any("pipelines stores" in n for n in report.notes)
+        assert not sanitize_trace([], model=SC).notes
+
+
+class TestInjectedViolations:
+    def test_out_of_order_retirement_fails_loudly(self):
+        """The issue's named negative test: take a real trace and swap
+        two retirement events of one CPU."""
+        trace = run_figure5().trace
+        retires = [i for i, e in enumerate(trace.events)
+                   if e.kind == "retire" and e.source == "cpu0"]
+        assert len(retires) >= 2
+        events = list(trace.events)
+        i, j = retires[0], retires[1]
+        events[i], events[j] = events[j], events[i]
+        report = sanitize_trace(events, model=SC)
+        assert not report.ok
+        assert report.by_invariant("retire-order")
+        assert "left program order" in report.render()
+        with pytest.raises(AssertionError):
+            report.raise_if_failed()
+
+    def test_unbound_load_retirement(self):
+        report = sanitize_trace(
+            [ev(1, "cpu0", "retire", seq=1, pc=0, op="load", bound=False)])
+        assert report.by_invariant("unbound-retire")
+
+    def test_store_buffer_not_fifo(self):
+        report = sanitize_trace(
+            [ev(1, "cpu0/lsu", "store_issue", seq=5, addr=0, line=0),
+             ev(2, "cpu0/lsu", "store_issue", seq=3, addr=4, line=1)],
+            model=RC)
+        assert report.by_invariant("sb-fifo")
+
+    def test_overlapping_stores_flagged_under_sc_not_rc(self):
+        events = [ev(1, "cpu0/lsu", "store_issue", seq=1, addr=0, line=0),
+                  ev(2, "cpu0/lsu", "store_issue", seq=2, addr=4, line=1),
+                  ev(3, "cpu0/lsu", "store_complete", seq=1, addr=0),
+                  ev(4, "cpu0/lsu", "store_complete", seq=2, addr=4)]
+        assert sanitize_trace(events, model=SC).by_invariant("sb-serial")
+        assert sanitize_trace(events, model=PC).by_invariant("sb-serial")
+        assert sanitize_trace(events, model=RC).ok
+
+    def test_speculative_load_retires_uncorrected(self):
+        report = sanitize_trace(
+            [ev(1, "cpu0/lsu", "slb_insert", seq=7, tag=None, line=4),
+             ev(1, "cpu0/lsu", "slb_insert", seq=9, tag=None, line=5),
+             ev(2, "cache0", "inval", line=5),
+             ev(3, "cpu0/lsu", "slb_retire", seq=7),
+             ev(4, "cpu0/lsu", "slb_retire", seq=9)])
+        assert report.by_invariant("spec-load-correction")
+
+    def test_speculative_load_reissued_is_fine(self):
+        report = sanitize_trace(
+            [ev(1, "cpu0/lsu", "slb_insert", seq=7, tag=None, line=4),
+             ev(1, "cpu0/lsu", "slb_insert", seq=9, tag=None, line=5),
+             ev(2, "cache0", "inval", line=5),
+             ev(3, "cpu0/lsu", "slb_reissue", seq=9),
+             ev(4, "cpu0/lsu", "slb_retire", seq=7),
+             ev(5, "cpu0/lsu", "slb_retire", seq=9)])
+        assert report.ok
+
+    def test_head_speculative_entry_is_exempt(self):
+        """Footnote 4: the buffer's head may consume the old value —
+        the access could have performed at this moment anyway."""
+        report = sanitize_trace(
+            [ev(1, "cpu0/lsu", "slb_insert", seq=7, tag=None, line=4),
+             ev(2, "cache0", "inval", line=4),
+             ev(3, "cpu0/lsu", "slb_retire", seq=7)])
+        assert report.ok
+
+    def test_squash_clears_pending_correction(self):
+        report = sanitize_trace(
+            [ev(1, "cpu0/lsu", "slb_insert", seq=9, tag=None, line=5),
+             ev(1, "cpu0/lsu", "slb_insert", seq=11, tag=None, line=6),
+             ev(2, "cache0", "inval", line=6),
+             ev(3, "cpu0", "squash", from_seq=10),
+             ev(4, "cpu0/lsu", "slb_retire", seq=9)])
+        assert report.ok
+
+    def test_two_modified_owners(self):
+        report = sanitize_trace(
+            [ev(1, "cache0", "fill", line=4, state="M"),
+             ev(2, "cache1", "fill", line=4, state="M")])
+        assert report.by_invariant("single-owner")
+
+    def test_ownership_handoff_is_fine(self):
+        report = sanitize_trace(
+            [ev(1, "cache0", "fill", line=4, state="M"),
+             ev(2, "cache0", "inval", line=4),
+             ev(3, "cache1", "fill", line=4, state="M"),
+             ev(4, "cache1", "downgrade", line=4),
+             ev(5, "cache0", "fill", line=4, state="S")])
+        assert report.ok
