@@ -10,18 +10,21 @@ from conftest import report
 from repro.analysis import example_cycle_table
 from repro.consistency import RC, SC
 from repro.core import AnalyticalTimingModel
+from repro.sim import sweep_map
 from repro.workloads import PAPER_CYCLE_COUNTS, example1_segment
 
 
 def test_example1_analytical_exact(benchmark):
     engine = AnalyticalTimingModel()
     segment = example1_segment()
+    cells = [(m, pf) for m in (SC, RC) for pf in (False, True)]
 
     def run_all():
-        return {
-            (m.name, pf): engine.schedule(segment, m, prefetch=pf).total_cycles
-            for m in (SC, RC) for pf in (False, True)
-        }
+        totals = sweep_map(
+            lambda cell: engine.schedule(segment, cell[0],
+                                         prefetch=cell[1]).total_cycles,
+            cells)
+        return {(m.name, pf): t for (m, pf), t in zip(cells, totals)}
 
     totals = benchmark(run_all)
     report(example_cycle_table("example1"))

@@ -11,24 +11,28 @@ from conftest import report
 from repro.analysis import example_cycle_table
 from repro.consistency import RC, SC
 from repro.core import AnalyticalTimingModel
+from repro.sim import sweep_map
 from repro.workloads import PAPER_CYCLE_COUNTS, example2_segment
 
 
 def test_example2_analytical_exact(benchmark):
     engine = AnalyticalTimingModel()
     segment = example2_segment()
+    cells = [(model, tech, pf, sp)
+             for model in (SC, RC)
+             for tech, (pf, sp) in {
+                 "baseline": (False, False),
+                 "prefetch": (True, False),
+                 "prefetch+speculation": (True, True),
+             }.items()]
 
     def run_all():
-        out = {}
-        for model in (SC, RC):
-            for tech, (pf, sp) in {
-                "baseline": (False, False),
-                "prefetch": (True, False),
-                "prefetch+speculation": (True, True),
-            }.items():
-                res = engine.schedule(segment, model, prefetch=pf, speculation=sp)
-                out[(model.name, tech)] = res.total_cycles
-        return out
+        totals = sweep_map(
+            lambda cell: engine.schedule(segment, cell[0], prefetch=cell[2],
+                                         speculation=cell[3]).total_cycles,
+            cells)
+        return {(model.name, tech): t
+                for (model, tech, _, _), t in zip(cells, totals)}
 
     totals = benchmark(run_all)
     report(example_cycle_table("example2"))

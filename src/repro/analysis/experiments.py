@@ -18,9 +18,10 @@ from ..consistency.litmus import (
     message_passing_sync,
     store_buffering,
 )
-from ..consistency.models import ALL_MODELS, PC, RC, SC, WC, ConsistencyModel
+from ..consistency.models import ALL_MODELS, PC, RC, SC, WC, ConsistencyModel, get_model
 from ..core.timing import AccessSpec, AnalyticalTimingModel, TimingConfig
 from ..memory.types import CacheConfig
+from ..sim.sweep import sweep_map
 from ..system.machine import run_workload
 from ..workloads.figure5 import Figure5Result, run_figure5
 from ..workloads.paper_examples import (
@@ -107,17 +108,31 @@ def litmus_outcome_table() -> Table:
 # E2/E3: the example cycle counts (analytical + detailed)
 # ----------------------------------------------------------------------
 
+def _example_cell(item: Tuple[str, str, bool, bool, int]) -> int:
+    """Sweep worker: one detailed-simulator cell of the example table."""
+    example, model_name, pf, spec, miss_latency = item
+    program_fn = example1_program if example == "example1" else example2_program
+    wl = program_fn()
+    result = run_workload(
+        [wl.program], model=get_model(model_name), prefetch=pf,
+        speculation=spec, miss_latency=miss_latency,
+        initial_memory=wl.initial_memory, warm_lines=wl.warm_lines,
+    )
+    return result.cycles
+
+
 def example_cycle_table(
     example: str,
     detailed: bool = False,
     miss_latency: int = 100,
     models: Sequence[ConsistencyModel] = (SC, PC, WC, RC),
+    jobs: int = 1,
 ) -> Table:
     """Cycle counts for Example 1 or 2 under every model x technique."""
     if example == "example1":
-        segment, program_fn = example1_segment(), example1_program
+        segment = example1_segment()
     elif example == "example2":
-        segment, program_fn = example2_segment(), example2_program
+        segment = example2_segment()
     else:
         raise ValueError(f"unknown example {example!r}")
 
@@ -127,17 +142,19 @@ def example_cycle_table(
         ["model"] + list(TECHNIQUES) + ["paper (base/pf/pf+spec)"],
     )
     engine = AnalyticalTimingModel(TimingConfig(miss_latency=miss_latency))
+    cells: Dict[Tuple[str, str], int] = {}
+    if detailed:
+        items = [(example, model.name, pf, spec, miss_latency)
+                 for model in models
+                 for tech, (pf, spec) in TECHNIQUES.items()]
+        keys = [(model.name, tech)
+                for model in models for tech in TECHNIQUES]
+        cells = dict(zip(keys, sweep_map(_example_cell, items, jobs=jobs)))
     for model in models:
         row: List[object] = [model.name]
         for tech, (pf, spec) in TECHNIQUES.items():
             if detailed:
-                wl = program_fn()
-                result = run_workload(
-                    [wl.program], model=model, prefetch=pf, speculation=spec,
-                    miss_latency=miss_latency,
-                    initial_memory=wl.initial_memory, warm_lines=wl.warm_lines,
-                )
-                row.append(result.cycles)
+                row.append(cells[(model.name, tech)])
             else:
                 row.append(engine.schedule(segment, model,
                                            prefetch=pf, speculation=spec).total_cycles)
@@ -208,8 +225,31 @@ def equalization_table(
     return table
 
 
+def _equalization_cell(item: Tuple[str, bool, bool, int, bool]) -> int:
+    """Sweep worker: one detailed critical-section run, correctness-checked."""
+    model_name, pf, spec, iterations, private = item
+    # several independent counters inside the section give the relaxed
+    # models something to pipeline (like the paper's Example 1, which
+    # writes two independent locations)
+    wl = critical_section_workload(num_cpus=2, iterations=iterations,
+                                   shared_counters=3, private=private)
+    result = run_workload(wl.programs, model=get_model(model_name),
+                          prefetch=pf, speculation=spec,
+                          initial_memory=wl.initial_memory,
+                          max_cycles=2_000_000)
+    for addr, expected in wl.expectations:
+        actual = result.machine.read_word(addr)
+        if actual != expected:
+            raise AssertionError(
+                f"{model_name}/pf={pf}/spec={spec}: counter {addr:#x} = "
+                f"{actual}, expected {expected} (mutual exclusion violated?)"
+            )
+    return result.cycles
+
+
 def detailed_equalization_table(iterations: int = 2,
-                                private: bool = True) -> Table:
+                                private: bool = True,
+                                jobs: int = 1) -> Table:
     """E5 on the detailed simulator.
 
     Defaults to per-CPU (uncontended) locks — the regime Section 5
@@ -225,29 +265,14 @@ def detailed_equalization_table(iterations: int = 2,
         f"E5 (detailed simulator): critical sections, 2 CPUs, {kind}",
         ["model", "baseline", "prefetch+speculation", "speedup"],
     )
-    for model in (SC, PC, WC, RC):
-        cycles: Dict[str, int] = {}
-        for tech, (pf, spec) in (("base", (False, False)),
-                                 ("both", (True, True))):
-            # several independent counters inside the section give the
-            # relaxed models something to pipeline (like the paper's
-            # Example 1, which writes two independent locations)
-            wl = critical_section_workload(num_cpus=2, iterations=iterations,
-                                           shared_counters=3, private=private)
-            result = run_workload(wl.programs, model=model, prefetch=pf,
-                                  speculation=spec,
-                                  initial_memory=wl.initial_memory,
-                                  max_cycles=2_000_000)
-            for addr, expected in wl.expectations:
-                actual = result.machine.read_word(addr)
-                if actual != expected:
-                    raise AssertionError(
-                        f"{model.name}/{tech}: counter {addr:#x} = {actual}, "
-                        f"expected {expected} (mutual exclusion violated?)"
-                    )
-            cycles[tech] = result.cycles
-        table.add_row(model.name, cycles["base"], cycles["both"],
-                      round(cycles["base"] / cycles["both"], 2))
+    models = (SC, PC, WC, RC)
+    combos = ((False, False), (True, True))
+    items = [(model.name, pf, spec, iterations, private)
+             for model in models for pf, spec in combos]
+    cycles = sweep_map(_equalization_cell, items, jobs=jobs)
+    for i, model in enumerate(models):
+        base, both = cycles[2 * i], cycles[2 * i + 1]
+        table.add_row(model.name, base, both, round(base / both, 2))
     return table
 
 
@@ -255,10 +280,25 @@ def detailed_equalization_table(iterations: int = 2,
 # E6: miss-latency sensitivity
 # ----------------------------------------------------------------------
 
+def _latency_point(item: Tuple[int, List[AccessSpec]]) -> Tuple[int, int, int, int]:
+    """Sweep worker: (SC base, RC base, SC both, RC both) at one latency."""
+    lat, segment = item
+    engine = AnalyticalTimingModel(TimingConfig(miss_latency=lat))
+    return (
+        engine.schedule(segment, SC).total_cycles,
+        engine.schedule(segment, RC).total_cycles,
+        engine.schedule(segment, SC, prefetch=True,
+                        speculation=True).total_cycles,
+        engine.schedule(segment, RC, prefetch=True,
+                        speculation=True).total_cycles,
+    )
+
+
 def latency_sweep_table(
     latencies: Sequence[int] = (20, 50, 100, 200, 400),
     segment: Optional[List[AccessSpec]] = None,
     segment_name: str = "example2",
+    jobs: int = 1,
 ) -> Table:
     if segment is None:
         segment = example2_segment()
@@ -267,14 +307,9 @@ def latency_sweep_table(
         ["miss latency", "SC base", "RC base", "SC both", "RC both",
          "SC speedup"],
     )
-    for lat in latencies:
-        engine = AnalyticalTimingModel(TimingConfig(miss_latency=lat))
-        sc_base = engine.schedule(segment, SC).total_cycles
-        rc_base = engine.schedule(segment, RC).total_cycles
-        sc_both = engine.schedule(segment, SC, prefetch=True,
-                                  speculation=True).total_cycles
-        rc_both = engine.schedule(segment, RC, prefetch=True,
-                                  speculation=True).total_cycles
+    points = sweep_map(_latency_point, [(lat, segment) for lat in latencies],
+                       jobs=jobs)
+    for lat, (sc_base, rc_base, sc_both, rc_both) in zip(latencies, points):
         table.add_row(lat, sc_base, rc_base, sc_both, rc_both,
                       round(sc_base / sc_both, 2))
     table.add_note("the techniques' benefit grows with miss latency: they "
@@ -358,24 +393,34 @@ def related_work_table(miss_latency: int = 100) -> Table:
 # E9: RMW handling (Appendix A)
 # ----------------------------------------------------------------------
 
-def rmw_handoff_table(iterations: int = 2) -> Table:
+def _rmw_cell(item: Tuple[str, bool, bool, int]) -> Tuple[int, bool]:
+    """Sweep worker: one contended-lock run; returns (cycles, counters ok)."""
+    model_name, pf, spec, iterations = item
+    wl = critical_section_workload(num_cpus=2, iterations=iterations)
+    result = run_workload(wl.programs, model=get_model(model_name),
+                          prefetch=pf, speculation=spec,
+                          initial_memory=wl.initial_memory,
+                          max_cycles=2_000_000)
+    ok = all(result.machine.read_word(a) == e for a, e in wl.expectations)
+    return result.cycles, ok
+
+
+def rmw_handoff_table(iterations: int = 2, jobs: int = 1) -> Table:
     """Contended lock hand-off: conventional vs speculative RMW."""
     table = Table(
         "E9 (Appendix A): contended test&set lock, 2 CPUs",
         ["model", "technique", "cycles", "counter ok"],
     )
-    for model in (SC, RC):
-        for tech, (pf, spec) in (("baseline", (False, False)),
-                                 ("prefetch+speculation", (True, True))):
-            wl = critical_section_workload(num_cpus=2, iterations=iterations)
-            result = run_workload(wl.programs, model=model, prefetch=pf,
-                                  speculation=spec,
-                                  initial_memory=wl.initial_memory,
-                                  max_cycles=2_000_000)
-            ok = all(result.machine.read_word(a) == e
-                     for a, e in wl.expectations)
-            table.add_row(model.name, tech, result.cycles,
-                          "yes" if ok else "NO")
+    combos = [(model, tech, pf, spec)
+              for model in (SC, RC)
+              for tech, (pf, spec) in (("baseline", (False, False)),
+                                       ("prefetch+speculation", (True, True)))]
+    results = sweep_map(_rmw_cell,
+                        [(model.name, pf, spec, iterations)
+                         for model, _, pf, spec in combos],
+                        jobs=jobs)
+    for (model, tech, _, _), (cycles, ok) in zip(combos, results):
+        table.add_row(model.name, tech, cycles, "yes" if ok else "NO")
     return table
 
 
@@ -383,27 +428,36 @@ def rmw_handoff_table(iterations: int = 2) -> Table:
 # E10: prefetch cache-traffic cost (Section 3.2)
 # ----------------------------------------------------------------------
 
-def traffic_table(miss_latency: int = 100) -> Table:
-    """The prefetch double-access and its traffic consequences."""
+def _traffic_cell(item: Tuple[bool, bool, int]) -> Tuple[int, int, int, int]:
+    """Sweep worker: (cycles, port accesses, prefetches, net messages)."""
+    pf, spec, miss_latency = item
     wl = example1_program()
+    result = run_workload([wl.program], model=SC, prefetch=pf,
+                          speculation=spec, miss_latency=miss_latency,
+                          initial_memory=wl.initial_memory,
+                          warm_lines=wl.warm_lines)
+    return (
+        result.cycles,
+        result.counter("cache0/port_accesses"),
+        result.counter("cache0/prefetches_issued"),
+        result.counter("net/messages"),
+    )
+
+
+def traffic_table(miss_latency: int = 100, jobs: int = 1) -> Table:
+    """The prefetch double-access and its traffic consequences."""
     table = Table(
         "E10 (Section 3.2): cache/port traffic with and without prefetch "
         "(example1, SC)",
         ["configuration", "cycles", "cache port accesses",
          "prefetches issued", "net messages"],
     )
-    for tech, (pf, spec) in TECHNIQUES.items():
-        result = run_workload([wl.program], model=SC, prefetch=pf,
-                              speculation=spec, miss_latency=miss_latency,
-                              initial_memory=wl.initial_memory,
-                              warm_lines=wl.warm_lines)
-        table.add_row(
-            tech,
-            result.cycles,
-            result.counter("cache0/port_accesses"),
-            result.counter("cache0/prefetches_issued"),
-            result.counter("net/messages"),
-        )
+    cells = sweep_map(_traffic_cell,
+                      [(pf, spec, miss_latency)
+                       for pf, spec in TECHNIQUES.values()],
+                      jobs=jobs)
+    for tech, cell in zip(TECHNIQUES, cells):
+        table.add_row(tech, *cell)
     table.add_note("prefetched references access the cache twice, but only "
                    "in cycles where demand accesses were stalled anyway")
     return table

@@ -32,11 +32,13 @@ Outcome = Tuple[Tuple[str, int], ...]
 class LitmusOp:
     """One access in a litmus thread.
 
-    ``op`` is ``"R"``, ``"W"``, or ``"F"`` (a full fence).  Reads name a
-    destination register (unique across the whole test); writes carry a
-    value; fences touch no shared location — they only constrain the
-    linearization (and compile to an acquire+release RMW on a private
-    line).
+    ``op`` is ``"R"``, ``"W"``, ``"U"`` (an atomic read-modify-write:
+    the register receives the old value, memory receives ``value`` —
+    swap semantics), or ``"F"`` (a full fence).  Reads and RMWs name a
+    destination register (unique across the whole test); writes and
+    RMWs carry a value; fences touch no shared location — they only
+    constrain the linearization (and compile to an acquire+release RMW
+    on a private line).
     """
 
     op: str
@@ -47,20 +49,21 @@ class LitmusOp:
     release: bool = False
 
     def __post_init__(self) -> None:
-        if self.op not in ("R", "W", "F"):
+        if self.op not in ("R", "W", "U", "F"):
             raise ConfigurationError(
-                f"litmus op must be 'R', 'W', or 'F', got {self.op!r}")
-        if self.op == "R" and not self.reg:
-            raise ConfigurationError("litmus reads need a destination register name")
+                f"litmus op must be 'R', 'W', 'U', or 'F', got {self.op!r}")
+        if self.op in ("R", "U") and not self.reg:
+            raise ConfigurationError(
+                "litmus reads and RMWs need a destination register name")
         if self.op == "F":
             if self.acquire or self.release or self.addr or self.reg:
                 raise ConfigurationError("a fence is already a full sync; "
                                          "it takes no address, register, or flags")
             return
-        if self.acquire and self.op != "R":
-            raise ConfigurationError("acquire must be a read")
-        if self.release and self.op != "W":
-            raise ConfigurationError("release must be a write")
+        if self.acquire and self.op not in ("R", "U"):
+            raise ConfigurationError("acquire must be a read or an RMW")
+        if self.release and self.op not in ("W", "U"):
+            raise ConfigurationError("release must be a write or an RMW")
 
     def access_class(self) -> AccessClass:
         if self.op == "F":
@@ -68,15 +71,30 @@ class LitmusOp:
             # under every model
             return AccessClass(is_load=True, is_store=True,
                                acquire=True, release=True)
-        return AccessClass(is_load=self.op == "R", is_store=self.op == "W",
+        return AccessClass(is_load=self.op in ("R", "U"),
+                           is_store=self.op in ("W", "U"),
                            acquire=self.acquire, release=self.release)
+
+    @property
+    def reads(self) -> bool:
+        return self.op in ("R", "U")
+
+    @property
+    def writes(self) -> bool:
+        return self.op in ("W", "U")
 
     def describe(self) -> str:
         if self.op == "F":
             return "F"
-        flags = ".acq" if self.acquire else (".rel" if self.release else "")
+        flags = ""
+        if self.acquire:
+            flags += ".acq"
+        if self.release:
+            flags += ".rel"
         if self.op == "R":
             return f"R{flags} {self.addr} -> {self.reg}"
+        if self.op == "U":
+            return f"U{flags} {self.addr} = {self.value} -> {self.reg}"
         return f"W{flags} {self.addr} = {self.value}"
 
 
@@ -86,6 +104,13 @@ def read(addr: str, reg: str, acquire: bool = False) -> LitmusOp:
 
 def write(addr: str, value: int, release: bool = False) -> LitmusOp:
     return LitmusOp(op="W", addr=addr, value=value, release=release)
+
+
+def rmw(addr: str, reg: str, value: int, acquire: bool = False,
+        release: bool = False) -> LitmusOp:
+    """An atomic swap: ``reg`` gets the old value, memory gets ``value``."""
+    return LitmusOp(op="U", addr=addr, reg=reg, value=value,
+                    acquire=acquire, release=release)
 
 
 def fence() -> LitmusOp:
@@ -101,7 +126,7 @@ class LitmusTest:
     initial: Dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        regs = [op.reg for t in self.threads for op in t if op.op == "R"]
+        regs = [op.reg for t in self.threads for op in t if op.reads]
         if len(regs) != len(set(regs)):
             raise ConfigurationError(f"{self.name}: read registers must be unique")
         total = sum(len(t) for t in self.threads)
@@ -129,8 +154,18 @@ class LitmusTest:
                     preds[k].append(k2)
 
         results: set = set()
+        # Many linearizations reach identical (done, memory, registers)
+        # states — e.g. two independent fences in either order.  Memoizing
+        # on the full state collapses that exponential blow-up, which is
+        # what keeps enumeration affordable for the fuzzer's generated
+        # tests (up to 4 threads of mixed R/W/RMW/F ops).
+        visited: set = set()
 
         def dfs(done: Tuple[bool, ...], memory: Dict[str, int], regs: Dict[str, int]) -> None:
+            state = (done, tuple(sorted(memory.items())), tuple(sorted(regs.items())))
+            if state in visited:
+                return
+            visited.add(state)
             if all(done):
                 results.add(tuple(sorted(regs.items())))
                 return
@@ -144,6 +179,13 @@ class LitmusTest:
                     new_memory = dict(memory)
                     new_memory[op.addr] = op.value
                     dfs(new_done, new_memory, regs)
+                elif op.op == "U":
+                    old = memory.get(op.addr, self.initial.get(op.addr, 0))
+                    new_memory = dict(memory)
+                    new_memory[op.addr] = op.value
+                    new_regs = dict(regs)
+                    new_regs[op.reg] = old
+                    dfs(new_done, new_memory, new_regs)
                 else:
                     new_regs = dict(regs)
                     new_regs[op.reg] = memory.get(op.addr, self.initial.get(op.addr, 0))
@@ -194,6 +236,10 @@ class LitmusTest:
     AUDIT_BASE = 0x800
     #: per-thread private fence lines
     FENCE_BASE = 0xF00
+    #: ISA registers usable for litmus read results — excludes the
+    #: value scratch (r9), the delay counter (r20), and the builder
+    #: macros' scratch registers (r30/r31)
+    ISA_REGS = tuple(f"r{n}" for n in range(1, 30) if n not in (9, 20))
 
     def to_programs(self, delays: Sequence[int] = (),
                     addr_map: Optional[Dict[str, int]] = None,
@@ -227,8 +273,15 @@ class LitmusTest:
                     b.mov_imm("r9", op.value)
                     b.store("r9", addr=addrs[op.addr], release=op.release,
                             tag=f"W {op.addr}")
+                elif op.op == "U":
+                    reg = self.ISA_REGS[i]
+                    b.mov_imm("r9", op.value)
+                    b.rmw(reg, addr=addrs[op.addr], op="swap", src="r9",
+                          acquire=op.acquire, release=op.release,
+                          tag=f"U {op.addr}")
+                    audits.append((op.reg, reg))
                 else:
-                    reg = f"r{1 + i}"
+                    reg = self.ISA_REGS[i]
                     b.load(reg, addr=addrs[op.addr], acquire=op.acquire,
                            tag=f"R {op.addr}")
                     audits.append((op.reg, reg))

@@ -329,17 +329,21 @@ class LockupFreeCache:
             # the access as a fresh miss.
             self.sim.schedule(0, lambda: self._retry(req), label="hit-race retry")
             return
+        if req.kind is not AccessKind.LOAD and line.state is not LineState.MODIFIED:
+            # Same race as above, but the line lost *permission* rather
+            # than presence: a RECALL downgraded MODIFIED -> SHARED after
+            # the store/RMW was accepted as a hit.  Re-run as a fresh
+            # access so an UPGRADE re-acquires ownership.
+            self.sim.schedule(0, lambda: self._retry(req),
+                              label="ownership-race retry")
+            return
         widx = self.config.word_index(req.addr)
         if req.kind is AccessKind.LOAD:
             value = line.data[widx]
         elif req.kind is AccessKind.STORE:
-            if line.state is not LineState.MODIFIED:
-                raise ProtocolError(f"store completing without ownership at {req.addr:#x}")
             line.data[widx] = req.value
             value = req.value
         else:  # RMW
-            if line.state is not LineState.MODIFIED:
-                raise ProtocolError(f"rmw completing without ownership at {req.addr:#x}")
             old = line.data[widx]
             line.data[widx] = _rmw_new_value(req.rmw_op, old, req.value)
             value = old

@@ -11,6 +11,14 @@ from .errors import (
 from .events import Event, EventQueue
 from .kernel import Component, Simulator
 from .stats import Counter, Histogram, StatsRegistry, format_stats_table
+from .sweep import (
+    SweepError,
+    SweepResult,
+    WorkerStats,
+    derive_seed,
+    run_sweep,
+    sweep_map,
+)
 from .trace import NullTraceRecorder, TraceEvent, TraceRecorder
 
 __all__ = [
@@ -28,7 +36,13 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "StatsRegistry",
+    "SweepError",
+    "SweepResult",
     "TraceEvent",
     "TraceRecorder",
+    "WorkerStats",
+    "derive_seed",
     "format_stats_table",
+    "run_sweep",
+    "sweep_map",
 ]

@@ -1,0 +1,232 @@
+"""A generic parallel sweep engine (``ProcessPoolExecutor``).
+
+Every heavy workload in this repo has the same shape: a pure worker
+function mapped over a list of independent work items (configuration
+cells, fuzzing seeds, latency points).  :func:`run_sweep` is the one
+shared runner for all of them:
+
+* **chunked dispatch** — items are grouped into chunks so the
+  per-task pickling/IPC overhead is amortized over many items;
+* **deterministic seeding** — :func:`derive_seed` turns a master seed
+  plus an item index into a stable 63-bit stream seed, identical
+  regardless of worker count, chunk size, or platform;
+* **ordered results** — ``results[i]`` always corresponds to
+  ``items[i]``, whatever order chunks finish in;
+* **per-worker stats** — items/chunks per worker process and wall
+  time, for utilization reporting;
+* **serial fallback** — ``jobs <= 1`` runs in-process with no
+  multiprocessing at all (same chunking, same result order), which is
+  also the path used on machines where fork is unavailable.
+
+Workers must be module-level (picklable) callables and items must be
+picklable values.  Exceptions inside a worker propagate to the caller
+unless ``on_error="record"``, in which case the failing item's result
+slot holds a :class:`SweepError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .errors import ConfigurationError
+
+#: worker signature: one picklable item in, one picklable result out
+SweepWorker = Callable[[Any], Any]
+
+#: progress callback: (items_done, items_total) -> None, called in the
+#: parent process each time a chunk completes
+ProgressCallback = Callable[[int, int], None]
+
+
+def derive_seed(master_seed: int, index: int, stream: str = "") -> int:
+    """A stable per-item seed from a master seed and an item index.
+
+    Uses SHA-256 over the decimal renderings, so the derivation is
+    identical across Python versions, platforms, and worker processes —
+    the property the fuzzer's replay feature and the determinism tests
+    rely on.  An optional ``stream`` label separates independent seed
+    streams drawn from the same master seed.
+    """
+    payload = f"{master_seed}/{index}/{stream}".encode()
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+@dataclass(frozen=True)
+class SweepError:
+    """Recorded in a result slot when a worker raised (``on_error="record"``)."""
+
+    item_index: int
+    error_type: str
+    message: str
+
+    def describe(self) -> str:
+        return f"item {self.item_index}: {self.error_type}: {self.message}"
+
+
+@dataclass
+class WorkerStats:
+    """Utilization of one worker process (or the in-process runner)."""
+
+    worker_id: str
+    items: int = 0
+    chunks: int = 0
+    busy_seconds: float = 0.0
+
+
+@dataclass
+class SweepResult:
+    """Ordered results plus run-wide accounting."""
+
+    results: List[Any]
+    elapsed_seconds: float
+    jobs: int
+    chunk_size: int
+    workers: Dict[str, WorkerStats] = field(default_factory=dict)
+
+    @property
+    def errors(self) -> List[SweepError]:
+        return [r for r in self.results if isinstance(r, SweepError)]
+
+    @property
+    def items_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return len(self.results) / self.elapsed_seconds
+
+    def describe(self) -> str:
+        lines = [
+            f"sweep: {len(self.results)} item(s) in {self.elapsed_seconds:.2f}s "
+            f"({self.items_per_second:.1f}/s, jobs={self.jobs}, "
+            f"chunk={self.chunk_size})"
+        ]
+        for stats in sorted(self.workers.values(), key=lambda w: w.worker_id):
+            lines.append(
+                f"  {stats.worker_id}: {stats.items} item(s) in "
+                f"{stats.chunks} chunk(s), {stats.busy_seconds:.2f}s busy"
+            )
+        if self.errors:
+            lines.append(f"  {len(self.errors)} item(s) FAILED")
+        return "\n".join(lines)
+
+
+def _chunk_indices(total: int, chunk_size: int) -> List[Tuple[int, int]]:
+    """``[start, stop)`` index ranges covering ``range(total)``."""
+    return [(start, min(start + chunk_size, total))
+            for start in range(0, total, chunk_size)]
+
+
+def _run_chunk(worker: SweepWorker, start: int, items: Sequence[Any],
+               record_errors: bool) -> Tuple[str, float, List[Any]]:
+    """Executed inside a worker process: map ``worker`` over one chunk."""
+    t0 = time.perf_counter()
+    out: List[Any] = []
+    for offset, item in enumerate(items):
+        if record_errors:
+            try:
+                out.append(worker(item))
+            except Exception as exc:  # noqa: BLE001 - reported to the caller
+                out.append(SweepError(item_index=start + offset,
+                                      error_type=type(exc).__name__,
+                                      message=str(exc)))
+        else:
+            out.append(worker(item))
+    return f"pid{os.getpid()}", time.perf_counter() - t0, out
+
+
+def default_chunk_size(total: int, jobs: int) -> int:
+    """Aim for ~4 chunks per worker so stragglers rebalance, while
+    keeping chunks non-trivial."""
+    if total <= 0:
+        return 1
+    return max(1, total // max(1, jobs * 4))
+
+
+def run_sweep(
+    worker: SweepWorker,
+    items: Sequence[Any],
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+    on_error: str = "raise",
+) -> SweepResult:
+    """Map ``worker`` over ``items``, optionally across processes.
+
+    ``jobs <= 1`` (or a single item) runs serially in-process.
+    ``on_error`` is ``"raise"`` (default) or ``"record"`` (failing
+    items yield :class:`SweepError` result slots instead of aborting
+    the sweep).
+    """
+    if on_error not in ("raise", "record"):
+        raise ConfigurationError(
+            f"on_error must be 'raise' or 'record', got {on_error!r}")
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    items = list(items)
+    total = len(items)
+    record = on_error == "record"
+    if chunk_size is not None and chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    size = chunk_size or default_chunk_size(total, jobs)
+    ranges = _chunk_indices(total, size)
+
+    t0 = time.perf_counter()
+    slots: List[Any] = [None] * total
+    workers: Dict[str, WorkerStats] = {}
+    done = 0
+
+    def account(worker_id: str, busy: float, start: int, stop: int,
+                chunk_results: List[Any]) -> None:
+        nonlocal done
+        slots[start:stop] = chunk_results
+        stats = workers.setdefault(worker_id, WorkerStats(worker_id=worker_id))
+        stats.items += stop - start
+        stats.chunks += 1
+        stats.busy_seconds += busy
+        done += stop - start
+        if progress is not None:
+            progress(done, total)
+
+    if jobs == 1 or total <= 1:
+        for start, stop in ranges:
+            worker_id, busy, chunk_results = _run_chunk(
+                worker, start, items[start:stop], record)
+            account("serial", busy, start, stop, chunk_results)
+        return SweepResult(results=slots,
+                           elapsed_seconds=time.perf_counter() - t0,
+                           jobs=1, chunk_size=size, workers=workers)
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        pending = {
+            pool.submit(_run_chunk, worker, start, items[start:stop], record):
+            (start, stop)
+            for start, stop in ranges
+        }
+        while pending:
+            finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in finished:
+                start, stop = pending.pop(future)
+                worker_id, busy, chunk_results = future.result()
+                account(worker_id, busy, start, stop, chunk_results)
+    return SweepResult(results=slots,
+                       elapsed_seconds=time.perf_counter() - t0,
+                       jobs=jobs, chunk_size=size, workers=workers)
+
+
+def sweep_map(worker: SweepWorker, items: Sequence[Any], jobs: int = 1,
+              chunk_size: Optional[int] = None) -> List[Any]:
+    """:func:`run_sweep` returning just the ordered result list."""
+    return run_sweep(worker, items, jobs=jobs, chunk_size=chunk_size).results

@@ -1,0 +1,54 @@
+"""Differential conformance verification (``python -m repro.verify``).
+
+The fuzzer ties the repo's two semantics together: random litmus tests
+from :mod:`.generator`, the reference outcome sets from exhaustive
+enumeration, and the observed outcomes from the detailed simulator —
+checked against each other across models, techniques, and machine
+configurations by :mod:`.harness`, with failures minimized
+(:mod:`.minimize`) and recorded for replay (:mod:`.corpus`).
+"""
+
+from .corpus import Corpus, CorpusEntry, litmus_from_dict, litmus_to_dict, replay_corpus
+from .generator import DEFAULT_ADDR_POOL, GeneratorConfig, generate_litmus
+from .harness import (
+    DEFAULT_RUN_CONFIGS,
+    FAULTS,
+    MODEL_NAMES,
+    TECHNIQUE_COMBOS,
+    CheckResult,
+    Divergence,
+    HarnessConfig,
+    RunConfig,
+    apply_fault,
+    check_seed,
+    check_test,
+    divergence_reproduces,
+    observed_outcome,
+)
+from .minimize import MinimizationResult, minimize
+
+__all__ = [
+    "Corpus",
+    "CorpusEntry",
+    "CheckResult",
+    "DEFAULT_ADDR_POOL",
+    "DEFAULT_RUN_CONFIGS",
+    "Divergence",
+    "FAULTS",
+    "GeneratorConfig",
+    "HarnessConfig",
+    "MODEL_NAMES",
+    "MinimizationResult",
+    "RunConfig",
+    "TECHNIQUE_COMBOS",
+    "apply_fault",
+    "check_seed",
+    "check_test",
+    "divergence_reproduces",
+    "generate_litmus",
+    "litmus_from_dict",
+    "litmus_to_dict",
+    "minimize",
+    "observed_outcome",
+    "replay_corpus",
+]

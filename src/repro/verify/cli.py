@@ -1,0 +1,180 @@
+"""``python -m repro.verify`` — the differential conformance fuzzer CLI.
+
+Typical runs::
+
+    python -m repro.verify --budget 200 --jobs 4 --seed 0
+    python -m repro.verify --budget 50 --fault slb-deaf --corpus out.json
+    python -m repro.verify --replay out.json
+
+Exit status is 0 when every check passed, 1 when any divergence,
+worker error, or still-failing replay entry was found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.sweep import SweepError, derive_seed, run_sweep
+from .corpus import (
+    Corpus,
+    CorpusEntry,
+    divergence_to_dict,
+    litmus_to_dict,
+    replay_corpus,
+)
+from .generator import GeneratorConfig, generate_litmus
+from .harness import FAULTS, CheckResult, HarnessConfig, check_seed
+from .minimize import minimize
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Differential conformance fuzzer: detailed simulator "
+                    "vs reference litmus enumeration.")
+    parser.add_argument("--budget", type=int, default=200,
+                        help="number of random tests to check (default 200)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sweep (default 1)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master seed; item seeds are derived "
+                             "deterministically (default 0)")
+    parser.add_argument("--chunk-size", type=int, default=None,
+                        help="items per sweep chunk (default: auto)")
+    parser.add_argument("--corpus", default="verify-corpus.json",
+                        help="where to write the JSON failure corpus "
+                             "(default verify-corpus.json; only written "
+                             "when something fails)")
+    parser.add_argument("--replay", metavar="PATH", default=None,
+                        help="re-check a saved corpus instead of fuzzing")
+    parser.add_argument("--fault", choices=sorted(FAULTS), default=None,
+                        help="inject a known fault in the workers "
+                             "(self-test: the fuzzer must catch it)")
+    parser.add_argument("--no-minimize", action="store_true",
+                        help="skip test-case minimization of failures")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress output")
+    return parser
+
+
+def _progress_printer(quiet: bool):
+    if quiet:
+        return None
+
+    def progress(done: int, total: int) -> None:
+        print(f"\r  checked {done}/{total}", end="", file=sys.stderr)
+        if done == total:
+            print(file=sys.stderr)
+
+    return progress
+
+
+def run_fuzz(budget: int, jobs: int, seed: int,
+             chunk_size: Optional[int] = None,
+             fault: Optional[str] = None,
+             corpus_path: Optional[str] = None,
+             do_minimize: bool = True,
+             quiet: bool = False,
+             generator: Optional[GeneratorConfig] = None) -> int:
+    """Fuzz ``budget`` seeds; returns the process exit status."""
+    gen_config = generator if generator is not None else GeneratorConfig()
+    options: Dict[str, object] = {"generator": gen_config.to_dict()}
+    if fault is not None:
+        options["fault"] = fault
+    items = [(i, derive_seed(seed, i, "fuzz"), options)
+             for i in range(budget)]
+
+    sweep = run_sweep(check_seed, items, jobs=jobs, chunk_size=chunk_size,
+                      progress=_progress_printer(quiet), on_error="record")
+
+    failures: List[CheckResult] = []
+    crashes: List[SweepError] = []
+    total_runs = 0
+    for result in sweep.results:
+        if isinstance(result, SweepError):
+            crashes.append(result)
+        else:
+            total_runs += result.num_runs
+            if not result.ok:
+                failures.append(result)
+
+    if not quiet:
+        print(sweep.describe())
+        print(f"  {total_runs} simulator run(s) across {budget} test(s)")
+
+    corpus = Corpus()
+    for failure in failures:
+        test = generate_litmus(failure.seed, gen_config)
+        print(f"FAIL seed={failure.seed} (item {failure.index}): "
+              f"{len(failure.divergences)} divergence(s)")
+        for div in failure.divergences[:4]:
+            print(f"  {div.describe()}")
+        minimized_dict = None
+        if do_minimize:
+            shrink = minimize(test, config=HarnessConfig(fault=fault))
+            minimized_dict = litmus_to_dict(shrink.test)
+            print(f"  {shrink.describe()}")
+            for tid, thread in enumerate(shrink.test.threads):
+                print(f"    T{tid}: " +
+                      "; ".join(op.describe() for op in thread))
+        corpus.add(CorpusEntry(
+            master_seed=seed,
+            index=failure.index,
+            derived_seed=failure.seed,
+            test=litmus_to_dict(test),
+            divergences=[divergence_to_dict(d) for d in failure.divergences],
+            minimized=minimized_dict,
+            fault=fault,
+        ))
+    for crash in crashes:
+        print(f"ERROR {crash.describe()}")
+
+    if corpus.entries and corpus_path:
+        corpus.save(corpus_path)
+        print(f"wrote {len(corpus.entries)} corpus entr(ies) to {corpus_path}")
+
+    if failures or crashes:
+        print(f"verify: FAILED ({len(failures)} divergent test(s), "
+              f"{len(crashes)} crash(es))")
+        return 1
+    if not quiet:
+        print(f"verify: OK ({budget} test(s), {total_runs} run(s), "
+              f"0 divergences)")
+    return 0
+
+
+def run_replay(path: str, quiet: bool = False) -> int:
+    still_failing = replay_corpus(path)
+    if still_failing:
+        for entry in still_failing:
+            print(f"STILL FAILING: seed={entry.derived_seed} "
+                  f"(master {entry.master_seed}, item {entry.index})")
+        return 1
+    if not quiet:
+        print(f"replay: OK — no corpus entry reproduces")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.replay is not None:
+        return run_replay(args.replay, quiet=args.quiet)
+    if args.budget < 1:
+        print("--budget must be >= 1", file=sys.stderr)
+        return 2
+    return run_fuzz(
+        budget=args.budget,
+        jobs=args.jobs,
+        seed=args.seed,
+        chunk_size=args.chunk_size,
+        fault=args.fault,
+        corpus_path=args.corpus,
+        do_minimize=not args.no_minimize,
+        quiet=args.quiet,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

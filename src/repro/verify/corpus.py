@@ -1,0 +1,112 @@
+"""JSON corpus of fuzzing failures — serialization and replay.
+
+Every divergence the fuzzer finds is recorded with enough information
+to reproduce it without the generator: the master seed and item index
+(for provenance), the full generated test, the minimized test, and the
+divergences themselves.  ``python -m repro.verify --replay corpus.json``
+re-checks every entry, so a fixed bug can be pinned as a regression.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..consistency.litmus import LitmusOp, LitmusTest
+from .harness import Divergence
+
+#: bumped when the on-disk schema changes incompatibly
+CORPUS_VERSION = 1
+
+
+def litmus_to_dict(test: LitmusTest) -> Dict[str, object]:
+    """Plain-data form of a litmus test (inverse of :func:`litmus_from_dict`)."""
+    return {
+        "name": test.name,
+        "threads": [
+            [{"op": op.op, "addr": op.addr, "reg": op.reg,
+              "value": op.value, "acquire": op.acquire,
+              "release": op.release}
+             for op in thread]
+            for thread in test.threads
+        ],
+    }
+
+
+def litmus_from_dict(data: Dict[str, object]) -> LitmusTest:
+    threads = [
+        [LitmusOp(**op) for op in thread]  # type: ignore[arg-type]
+        for thread in data["threads"]  # type: ignore[union-attr]
+    ]
+    return LitmusTest(name=str(data.get("name", "corpus")), threads=threads)
+
+
+@dataclass
+class CorpusEntry:
+    """One recorded failure, replayable without the generator."""
+
+    master_seed: int
+    index: int
+    derived_seed: int
+    test: Dict[str, object]
+    divergences: List[Dict[str, object]]
+    minimized: Optional[Dict[str, object]] = None
+    fault: Optional[str] = None
+
+    def litmus(self) -> LitmusTest:
+        return litmus_from_dict(self.test)
+
+    def minimized_litmus(self) -> LitmusTest:
+        return litmus_from_dict(self.minimized or self.test)
+
+
+def divergence_to_dict(div: Divergence) -> Dict[str, object]:
+    data = asdict(div)
+    data["observed"] = [list(pair) for pair in div.observed]
+    return data
+
+
+@dataclass
+class Corpus:
+    """A versioned collection of :class:`CorpusEntry` records."""
+
+    entries: List[CorpusEntry] = field(default_factory=list)
+    version: int = CORPUS_VERSION
+
+    def add(self, entry: CorpusEntry) -> None:
+        self.entries.append(entry)
+
+    def save(self, path: Union[str, Path]) -> None:
+        payload = {
+            "version": self.version,
+            "entries": [asdict(entry) for entry in self.entries],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Corpus":
+        payload = json.loads(Path(path).read_text())
+        entries = [CorpusEntry(**raw) for raw in payload.get("entries", [])]
+        return cls(entries=entries, version=payload.get("version", 0))
+
+
+def replay_corpus(path: Union[str, Path],
+                  minimized: bool = True) -> Sequence["CorpusEntry"]:
+    """Re-check every corpus entry; returns the entries that still fail.
+
+    ``minimized`` picks which recorded form to replay.  Faults recorded
+    with an entry are re-applied, so a corpus captured against a fault
+    injection replays faithfully.
+    """
+    from .harness import HarnessConfig, divergence_reproduces
+
+    corpus = Corpus.load(path)
+    still_failing: List[CorpusEntry] = []
+    for entry in corpus.entries:
+        test = entry.minimized_litmus() if minimized else entry.litmus()
+        config = HarnessConfig(fault=entry.fault)
+        if divergence_reproduces(test, config):
+            still_failing.append(entry)
+    return still_failing

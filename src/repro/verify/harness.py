@@ -1,0 +1,256 @@
+"""Differential conformance checking: detailed machine vs litmus reference.
+
+The paper's central claim is that prefetching and speculative loads
+are *invisible* to the consistency model.  The harness checks exactly
+that, mechanically: for a litmus test the reference semantics
+(exhaustive linearization under the model's delay arcs, Section 2's
+write-atomicity assumption) yields the set of permitted final register
+states; every outcome the detailed simulator actually produces — under
+any technique combination, cache geometry, or thread-start skew —
+must be a member of that set.
+
+``check_seed`` is the sweep-engine worker: a picklable item in, a
+picklable :class:`CheckResult` out, so fuzzing parallelizes across
+processes.  A small **fault registry** can deliberately break the
+speculative-load buffer inside the worker process; the fuzzer finding
+those mutations proves the harness has teeth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..consistency.litmus import LitmusTest, Outcome
+from ..consistency.models import get_model
+from ..memory.types import CacheConfig
+from ..sim.errors import ConfigurationError
+from ..system.machine import run_workload
+
+#: the four models the paper discusses, by name (names pickle smaller
+#: and more robustly than model instances)
+MODEL_NAMES: Tuple[str, ...] = ("SC", "PC", "WC", "RC")
+
+#: (prefetch, speculation) combinations the harness drives
+TECHNIQUE_COMBOS: Tuple[Tuple[bool, bool], ...] = (
+    (False, False),
+    (True, False),
+    (False, True),
+    (True, True),
+)
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One machine/environment configuration for a litmus run."""
+
+    name: str
+    miss_latency: int = 40
+    #: per-thread start-time skews (indexed modulo thread count)
+    skew: Tuple[int, ...] = (0,)
+    #: pre-install every shared litmus line SHARED in every cache, so
+    #: loads hit (and perform early) while stores still pay the
+    #: ownership latency — the widest reordering window
+    warm_shared: bool = True
+    line_size: int = 4
+    max_cycles: int = 400_000
+
+
+#: default configuration axis: contention windows of different shapes,
+#: plus a false-sharing geometry (footnote 2: litmus locations x/y/data
+#: share one 32-word line, so conservative line-granular detection fires)
+DEFAULT_RUN_CONFIGS: Tuple[RunConfig, ...] = (
+    RunConfig(name="warm-tight", miss_latency=40, skew=(0, 0), warm_shared=True),
+    RunConfig(name="warm-skewed", miss_latency=40, skew=(0, 40, 7, 23),
+              warm_shared=True),
+    RunConfig(name="cold-skewed", miss_latency=20, skew=(13, 0, 29, 5),
+              warm_shared=False),
+    RunConfig(name="false-sharing", miss_latency=40, skew=(0, 11, 3, 17),
+              warm_shared=True, line_size=32),
+)
+
+
+@dataclass
+class HarnessConfig:
+    """What the differential harness sweeps per test."""
+
+    models: Tuple[str, ...] = MODEL_NAMES
+    techniques: Tuple[Tuple[bool, bool], ...] = TECHNIQUE_COMBOS
+    run_configs: Tuple[RunConfig, ...] = DEFAULT_RUN_CONFIGS
+    #: name of a registered fault to apply in the worker (tests only)
+    fault: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One observed outcome outside the model's permitted set."""
+
+    test_name: str
+    model: str
+    prefetch: bool
+    speculation: bool
+    config_name: str
+    observed: Outcome
+    permitted_count: int
+
+    def describe(self) -> str:
+        tech = (f"prefetch={'on' if self.prefetch else 'off'} "
+                f"speculation={'on' if self.speculation else 'off'}")
+        obs = ", ".join(f"{reg}={val}" for reg, val in self.observed)
+        return (f"{self.test_name} under {self.model} [{tech}, "
+                f"{self.config_name}]: observed ({obs}) is outside the "
+                f"{self.permitted_count} permitted outcome(s)")
+
+
+@dataclass
+class CheckResult:
+    """Everything one fuzz item produced (picklable)."""
+
+    index: int
+    seed: int
+    test_name: str
+    num_runs: int = 0
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+# ----------------------------------------------------------------------
+# Fault injection (the fuzzer's self-test)
+# ----------------------------------------------------------------------
+
+def _fault_slb_deaf() -> None:
+    """The speculative-load buffer ignores every coherence snoop.
+
+    Speculative loads then retire stale values: the exact bug class
+    Section 4.2's detection mechanism exists to prevent.
+    """
+    from ..core.speculation import SpeculativeLoadBuffer
+
+    SpeculativeLoadBuffer.on_snoop = (  # type: ignore[method-assign]
+        lambda self, kind, line_addr: [])
+
+
+def _fault_slb_forgets_acquires() -> None:
+    """SLB entries never carry the ``acq`` bit, so loads retire before
+    the ordering constraint they stand for is satisfied."""
+    from ..core.speculation import SlbEntry
+
+    original_init = SlbEntry.__init__
+
+    def init(self, *args, **kwargs):  # type: ignore[no-untyped-def]
+        original_init(self, *args, **kwargs)
+        self.acq = False
+
+    SlbEntry.__init__ = init  # type: ignore[method-assign]
+
+
+FAULTS = {
+    "slb-deaf": _fault_slb_deaf,
+    "slb-forgets-acquires": _fault_slb_forgets_acquires,
+}
+
+_applied_faults: set = set()
+
+
+def apply_fault(name: str) -> None:
+    """Apply a registered fault (idempotent, per-process)."""
+    if name not in FAULTS:
+        raise ConfigurationError(
+            f"unknown fault {name!r}; available: {sorted(FAULTS)}")
+    if name not in _applied_faults:
+        FAULTS[name]()
+        _applied_faults.add(name)
+
+
+# ----------------------------------------------------------------------
+# The differential check
+# ----------------------------------------------------------------------
+
+def observed_outcome(test: LitmusTest, model_name: str, prefetch: bool,
+                     speculation: bool, run_config: RunConfig) -> Outcome:
+    """Run the detailed machine once and read back the final registers."""
+    model = get_model(model_name)
+    addresses = test.addresses()
+    skew = tuple(run_config.skew[t % len(run_config.skew)]
+                 for t in range(len(test.threads)))
+    programs, audit_map = test.to_programs(delays=skew)
+    warm = []
+    if run_config.warm_shared:
+        warm = [(cpu, addr, False)
+                for cpu in range(len(test.threads))
+                for addr in addresses.values()]
+    result = run_workload(
+        programs,
+        model=model,
+        prefetch=prefetch,
+        speculation=speculation,
+        miss_latency=run_config.miss_latency,
+        initial_memory={addr: 0 for addr in addresses.values()},
+        warm_lines=warm,
+        cache=CacheConfig(line_size=run_config.line_size),
+        max_cycles=run_config.max_cycles,
+    )
+    return tuple(sorted(
+        (reg, result.machine.read_word(slot))
+        for reg, slot in audit_map.items()
+    ))
+
+
+def check_test(test: LitmusTest, config: HarnessConfig = HarnessConfig(),
+               index: int = 0, seed: int = 0) -> CheckResult:
+    """Differentially check one litmus test across the whole config axis."""
+    if config.fault is not None:
+        apply_fault(config.fault)
+    out = CheckResult(index=index, seed=seed, test_name=test.name)
+    reference: Dict[str, FrozenSet[Outcome]] = {}
+    for model_name in config.models:
+        reference[model_name] = test.outcomes(get_model(model_name))
+    for model_name in config.models:
+        permitted = reference[model_name]
+        for prefetch, speculation in config.techniques:
+            for run_config in config.run_configs:
+                observed = observed_outcome(test, model_name, prefetch,
+                                            speculation, run_config)
+                out.num_runs += 1
+                if observed not in permitted:
+                    out.divergences.append(Divergence(
+                        test_name=test.name,
+                        model=model_name,
+                        prefetch=prefetch,
+                        speculation=speculation,
+                        config_name=run_config.name,
+                        observed=observed,
+                        permitted_count=len(permitted),
+                    ))
+    return out
+
+
+def divergence_reproduces(test: LitmusTest,
+                          config: HarnessConfig = HarnessConfig()) -> bool:
+    """Does *any* divergence show up for this test?  (Minimizer oracle.)"""
+    return not check_test(test, config).ok
+
+
+# ----------------------------------------------------------------------
+# Sweep-engine worker
+# ----------------------------------------------------------------------
+
+def check_seed(item: Tuple[int, int, Dict[str, object]]) -> CheckResult:
+    """Fuzz one derived seed: generate, then differentially check.
+
+    ``item`` is ``(index, derived_seed, options)`` where ``options``
+    may carry ``"generator"`` (a :class:`GeneratorConfig` dict) and
+    ``"fault"`` (a registered fault name).  Everything is plain data so
+    the sweep engine can ship items to worker processes.
+    """
+    from .generator import GeneratorConfig, generate_litmus
+
+    index, seed, options = item
+    gen_config = GeneratorConfig.from_dict(
+        dict(options.get("generator", {})))  # type: ignore[arg-type]
+    harness = HarnessConfig(fault=options.get("fault"))  # type: ignore[arg-type]
+    test = generate_litmus(seed, gen_config)
+    return check_test(test, harness, index=index, seed=seed)

@@ -1,0 +1,130 @@
+"""Automatic test-case minimization for divergent litmus tests.
+
+When the differential harness finds an outcome the reference semantics
+forbids, the raw generated test is rarely the clearest witness.  The
+minimizer greedily shrinks it while the oracle ("some divergence still
+reproduces under this harness config") keeps passing:
+
+1. drop whole threads (a litmus test needs at least two);
+2. drop individual operations;
+3. strip acquire/release annotations from the survivors.
+
+Each pass restarts whenever a reduction sticks, so the result is
+1-minimal with respect to these three moves: removing any single
+thread, op, or annotation makes the divergence disappear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional
+
+from ..consistency.litmus import LitmusOp, LitmusTest
+from .harness import HarnessConfig, divergence_reproduces
+
+#: oracle signature: does the bug still reproduce on this candidate?
+Oracle = Callable[[LitmusTest], bool]
+
+
+@dataclass
+class MinimizationResult:
+    """The shrunken test plus accounting for reporting."""
+
+    test: LitmusTest
+    oracle_calls: int
+    ops_before: int
+    ops_after: int
+
+    def describe(self) -> str:
+        return (f"minimized {self.ops_before} -> {self.ops_after} op(s) "
+                f"in {self.oracle_calls} oracle call(s)")
+
+
+def _count_ops(test: LitmusTest) -> int:
+    return sum(len(thread) for thread in test.threads)
+
+
+def _rebuild(test: LitmusTest, threads: List[List[LitmusOp]]) -> Optional[LitmusTest]:
+    """A candidate test with the given threads, or ``None`` if invalid."""
+    kept = [list(ops) for ops in threads if ops]
+    if len(kept) < 2:
+        return None
+    try:
+        return LitmusTest(name=test.name, threads=kept)
+    except Exception:  # noqa: BLE001 - invalid shrink candidates are skipped
+        return None
+
+
+def minimize(test: LitmusTest, oracle: Optional[Oracle] = None,
+             config: Optional[HarnessConfig] = None,
+             max_oracle_calls: int = 200) -> MinimizationResult:
+    """Greedily shrink ``test`` while ``oracle`` keeps returning True.
+
+    The default oracle re-runs the differential harness with ``config``
+    (so minimization uses the same model/technique/run-config axis that
+    found the bug).  ``max_oracle_calls`` bounds total work; hitting the
+    bound returns the best reduction so far.
+    """
+    if oracle is None:
+        harness = config if config is not None else HarnessConfig()
+        oracle = lambda t: divergence_reproduces(t, harness)  # noqa: E731
+    calls = 0
+    ops_before = _count_ops(test)
+
+    def check(candidate: Optional[LitmusTest]) -> bool:
+        nonlocal calls
+        if candidate is None or calls >= max_oracle_calls:
+            return False
+        calls += 1
+        return oracle(candidate)
+
+    current = test
+    improved = True
+    while improved and calls < max_oracle_calls:
+        improved = False
+
+        # Pass 1: drop whole threads.
+        for tid in range(len(current.threads)):
+            threads = [list(ops) for i, ops in enumerate(current.threads)
+                       if i != tid]
+            candidate = _rebuild(current, threads)
+            if check(candidate):
+                current = candidate
+                improved = True
+                break
+        if improved:
+            continue
+
+        # Pass 2: drop single operations.
+        for tid in range(len(current.threads)):
+            for oid in range(len(current.threads[tid])):
+                threads = [list(ops) for ops in current.threads]
+                del threads[tid][oid]
+                candidate = _rebuild(current, threads)
+                if check(candidate):
+                    current = candidate
+                    improved = True
+                    break
+            if improved:
+                break
+        if improved:
+            continue
+
+        # Pass 3: strip acquire/release annotations.
+        for tid in range(len(current.threads)):
+            for oid, op in enumerate(current.threads[tid]):
+                if not (op.acquire or op.release):
+                    continue
+                threads = [list(ops) for ops in current.threads]
+                threads[tid][oid] = replace(op, acquire=False, release=False)
+                candidate = _rebuild(current, threads)
+                if check(candidate):
+                    current = candidate
+                    improved = True
+                    break
+            if improved:
+                break
+
+    return MinimizationResult(test=current, oracle_calls=calls,
+                              ops_before=ops_before,
+                              ops_after=_count_ops(current))

@@ -1,0 +1,73 @@
+"""Determinism: identical inputs must produce identical simulations.
+
+The conformance fuzzer, the golden-number pins, and corpus replay all
+assume the stack is a pure function of (workload, model, config, seed):
+same inputs, same cycle counts, same stats, same trace-event stream.
+These tests pin that assumption directly, including across the sweep
+engine's serial and parallel execution paths.
+"""
+
+from repro.consistency import RC, SC
+from repro.sim.sweep import derive_seed, run_sweep
+from repro.sim.trace import TraceRecorder
+from repro.system import run_workload
+from repro.verify import check_seed, generate_litmus
+from repro.verify.harness import DEFAULT_RUN_CONFIGS, observed_outcome
+from repro.workloads import critical_section_workload
+
+
+def _run_once(model, prefetch, speculation):
+    wl = critical_section_workload(num_cpus=2, iterations=2,
+                                   shared_counters=3, private=True)
+    trace = TraceRecorder()
+    result = run_workload(wl.programs, model=model, prefetch=prefetch,
+                          speculation=speculation,
+                          initial_memory=wl.initial_memory,
+                          max_cycles=2_000_000, trace=trace)
+    return (result.cycles,
+            dict(result.machine.sim.stats.counters()),
+            [ev.describe() for ev in trace.events])
+
+
+class TestSimulatorDeterminism:
+    def test_identical_runs_identical_everything(self):
+        for model, pf, spec in ((SC, False, False), (SC, True, True),
+                                (RC, True, True)):
+            cycles_a, stats_a, trace_a = _run_once(model, pf, spec)
+            cycles_b, stats_b, trace_b = _run_once(model, pf, spec)
+            assert cycles_a == cycles_b
+            assert stats_a == stats_b
+            assert trace_a == trace_b
+
+    def test_litmus_outcome_reproducible(self):
+        test = generate_litmus(derive_seed(7, 0, "fuzz"))
+        config = DEFAULT_RUN_CONFIGS[0]
+        first = observed_outcome(test, "SC", True, True, config)
+        assert all(observed_outcome(test, "SC", True, True, config) == first
+                   for _ in range(2))
+
+
+class TestSweepDeterminism:
+    def test_seed_derivation_is_stable(self):
+        # same master seed -> same stream, regardless of call order
+        forward = [derive_seed(42, i, "fuzz") for i in range(8)]
+        backward = [derive_seed(42, i, "fuzz") for i in reversed(range(8))]
+        assert forward == list(reversed(backward))
+
+    def test_serial_matches_parallel(self):
+        items = [(i, derive_seed(5, i, "fuzz"), {}) for i in range(3)]
+        serial = run_sweep(check_seed, items, jobs=1)
+        parallel = run_sweep(check_seed, items, jobs=2, chunk_size=1)
+        assert [(r.seed, r.num_runs, r.divergences)
+                for r in serial.results] == \
+               [(r.seed, r.num_runs, r.divergences)
+                for r in parallel.results]
+
+    def test_chunking_does_not_change_results(self):
+        items = [(i, derive_seed(5, i, "fuzz"), {}) for i in range(4)]
+        by_one = run_sweep(check_seed, items, chunk_size=1)
+        by_four = run_sweep(check_seed, items, chunk_size=4)
+        assert [r.seed for r in by_one.results] == \
+               [r.seed for r in by_four.results]
+        assert [r.divergences for r in by_one.results] == \
+               [r.divergences for r in by_four.results]

@@ -159,6 +159,53 @@ class TestLitmusProperties:
 
 
 # ----------------------------------------------------------------------
+# Properties of the fuzzer's generated litmus tests (full op alphabet:
+# loads, stores, RMWs, fences, acquire/release annotations)
+# ----------------------------------------------------------------------
+
+#: small enough that fencing every gap stays under the 12-access
+#: enumeration cap (worst case 2*7 - 2 = 12)
+_SMALL_GEN = None
+
+
+def _small_gen():
+    global _SMALL_GEN
+    if _SMALL_GEN is None:
+        from repro.verify import GeneratorConfig
+        _SMALL_GEN = GeneratorConfig(max_cpus=3, max_ops_per_thread=3,
+                                     max_total_ops=7)
+    return _SMALL_GEN
+
+
+class TestGeneratedLitmusProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_generated_outcomes_monotone_in_relaxation(self, seed):
+        """Relaxing the model only ever adds outcomes: every final
+        state SC permits is permitted by PC, WC, and RC too."""
+        from repro.verify import generate_litmus
+        test = generate_litmus(seed)
+        sc = test.outcomes(SC)
+        for model in (PC, WC, RC):
+            assert sc <= test.outcomes(model), model.name
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_fence_saturation_collapses_to_sc(self, seed):
+        """With a full fence in every program-order gap, every model's
+        outcome set collapses to exactly the unfenced SC set — the
+        brute-force way to restore sequential consistency."""
+        from repro.verify import generate_litmus
+        test = generate_litmus(seed, _small_gen())
+        sc = test.outcomes(SC)
+        fenced = test.with_fences()
+        for model in (SC, PC, WC, RC):
+            assert fenced.outcomes(model) == sc, model.name
+
+
+# ----------------------------------------------------------------------
 # Memory system as a faithful memory
 # ----------------------------------------------------------------------
 

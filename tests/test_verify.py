@@ -1,0 +1,246 @@
+"""Tests for the differential conformance fuzzer (``repro.verify``)."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.consistency import SC, get_model
+from repro.consistency.litmus import (
+    LitmusOp,
+    LitmusTest,
+    read,
+    store_buffering,
+    write,
+)
+from repro.sim.errors import ConfigurationError
+from repro.sim.sweep import derive_seed, run_sweep
+from repro.verify import (
+    Corpus,
+    CorpusEntry,
+    GeneratorConfig,
+    HarnessConfig,
+    RunConfig,
+    check_seed,
+    check_test,
+    generate_litmus,
+    litmus_from_dict,
+    litmus_to_dict,
+    minimize,
+    observed_outcome,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# ----------------------------------------------------------------------
+# Generator
+# ----------------------------------------------------------------------
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_litmus(1234)
+        b = generate_litmus(1234)
+        assert a.threads == b.threads
+        assert a.name == b.name
+
+    def test_seeds_differ(self):
+        tests = {tuple(tuple(t) for t in generate_litmus(s).threads)
+                 for s in range(20)}
+        assert len(tests) > 10
+
+    def test_respects_config_bounds(self):
+        config = GeneratorConfig()
+        for seed in range(50):
+            test = generate_litmus(seed, config)
+            assert config.min_cpus <= len(test.threads) <= config.max_cpus
+            total = sum(len(t) for t in test.threads)
+            assert total <= config.max_total_ops
+            for thread in test.threads:
+                assert (config.min_ops_per_thread <= len(thread)
+                        <= config.max_ops_per_thread)
+
+    def test_generated_tests_are_interesting(self):
+        # two threads must race on some address, else every model agrees
+        for seed in range(30):
+            test = generate_litmus(seed)
+            shared = {}
+            for tid, ops in enumerate(test.threads):
+                for op in ops:
+                    if op.op != "F":
+                        shared.setdefault(op.addr, set()).add(tid)
+            assert any(len(tids) >= 2 for tids in shared.values())
+
+    def test_registers_unique(self):
+        for seed in range(30):
+            test = generate_litmus(seed)
+            regs = [op.reg for t in test.threads for op in t if op.reads]
+            assert len(regs) == len(set(regs))
+
+    def test_addresses_resolve(self):
+        for seed in range(20):
+            test = generate_litmus(seed)
+            assert test.addresses()  # raises if an address is unknown
+
+    def test_config_round_trip(self):
+        config = GeneratorConfig(max_cpus=3, sync_probability=0.5)
+        assert GeneratorConfig.from_dict(config.to_dict()) == config
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(min_cpus=5, max_cpus=4)
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(max_total_ops=3, max_cpus=4)
+
+    def test_enumeration_affordable(self):
+        # generated tests must stay enumerable under every model
+        for seed in range(10):
+            test = generate_litmus(seed)
+            assert test.outcomes(SC)
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+
+#: one small config cell so harness tests stay fast
+FAST = HarnessConfig(
+    models=("SC", "RC"),
+    techniques=((False, False), (True, True)),
+    run_configs=(RunConfig(name="fast", miss_latency=20, skew=(0, 7),
+                           warm_shared=True),),
+)
+
+
+class TestHarness:
+    def test_store_buffering_clean(self):
+        result = check_test(store_buffering(), FAST)
+        assert result.ok
+        assert result.num_runs == 2 * 2 * 1
+
+    def test_observed_outcome_shape(self):
+        test = store_buffering()
+        outcome = observed_outcome(test, "SC", False, False,
+                                   FAST.run_configs[0])
+        assert outcome in test.outcomes(SC)
+
+    def test_generated_seeds_clean(self):
+        for seed in range(5):
+            test = generate_litmus(derive_seed(0, seed, "fuzz"))
+            assert check_test(test, FAST).ok
+
+    def test_check_seed_worker(self):
+        item = (3, derive_seed(0, 3, "fuzz"), {})
+        result = check_seed(item)
+        assert result.index == 3
+        assert result.seed == item[1]
+        assert result.ok
+
+    def test_check_seed_through_parallel_sweep(self):
+        # exercises pickling of items and CheckResults across processes
+        items = [(i, derive_seed(0, i, "fuzz"), {}) for i in range(2)]
+        sweep = run_sweep(check_seed, items, jobs=2, chunk_size=1)
+        assert all(r.ok for r in sweep.results)
+
+
+# ----------------------------------------------------------------------
+# Minimizer
+# ----------------------------------------------------------------------
+
+class TestMinimize:
+    def test_minimizes_with_synthetic_oracle(self):
+        # "bug": any test where thread A writes x and thread B reads x
+        def oracle(test):
+            writers = {tid for tid, ops in enumerate(test.threads)
+                       for op in ops if op.writes and op.addr == "x"}
+            readers = {tid for tid, ops in enumerate(test.threads)
+                       for op in ops if op.reads and op.addr == "x"}
+            return bool(writers and readers - writers)
+
+        fat = LitmusTest("fat", threads=[
+            [write("x", 1), write("y", 2), read("flag", "a")],
+            [read("y", "b"), read("x", "c", acquire=True)],
+            [write("data", 3), read("data", "d")],
+        ])
+        result = minimize(fat, oracle=oracle)
+        assert oracle(result.test)
+        assert result.ops_after == 2
+        assert len(result.test.threads) == 2
+        # the acquire annotation is stripped too
+        assert not any(op.acquire or op.release
+                       for t in result.test.threads for op in t)
+
+    def test_keeps_irreducible_test(self):
+        test = store_buffering()
+        result = minimize(test, oracle=lambda t: True)
+        assert result.ops_after <= 4
+        assert len(result.test.threads) == 2
+
+    def test_oracle_budget_respected(self):
+        calls = []
+
+        def oracle(test):
+            calls.append(1)
+            return False
+
+        minimize(store_buffering(), oracle=oracle, max_oracle_calls=7)
+        assert len(calls) <= 7
+
+
+# ----------------------------------------------------------------------
+# Corpus
+# ----------------------------------------------------------------------
+
+class TestCorpus:
+    def test_litmus_round_trip(self):
+        for seed in range(10):
+            test = generate_litmus(seed)
+            again = litmus_from_dict(
+                json.loads(json.dumps(litmus_to_dict(test))))
+            assert again.threads == test.threads
+            assert again.name == test.name
+
+    def test_save_load(self, tmp_path):
+        test = generate_litmus(7)
+        corpus = Corpus()
+        corpus.add(CorpusEntry(master_seed=0, index=7, derived_seed=99,
+                               test=litmus_to_dict(test), divergences=[]))
+        path = tmp_path / "corpus.json"
+        corpus.save(path)
+        loaded = Corpus.load(path)
+        assert len(loaded.entries) == 1
+        assert loaded.entries[0].litmus().threads == test.threads
+        assert loaded.entries[0].minimized_litmus().threads == test.threads
+
+
+# ----------------------------------------------------------------------
+# CLI and fault injection (subprocess: faults patch classes in-process)
+# ----------------------------------------------------------------------
+
+def _run_verify(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.verify", *args],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        timeout=540)
+
+
+class TestCli:
+    def test_clean_budget_exits_zero(self):
+        proc = _run_verify("--budget", "4", "--seed", "0", "--quiet",
+                           "--no-minimize")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    @pytest.mark.slow
+    def test_fault_injection_is_caught(self, tmp_path):
+        corpus_path = tmp_path / "corpus.json"
+        proc = _run_verify("--budget", "25", "--seed", "0",
+                           "--fault", "slb-deaf", "--no-minimize",
+                           "--corpus", str(corpus_path))
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "FAIL" in proc.stdout
+        corpus = Corpus.load(corpus_path)
+        assert corpus.entries
+        assert corpus.entries[0].fault == "slb-deaf"
