@@ -1,0 +1,46 @@
+"""E11 — Stall breakdown (the paper's Figures 3-7 presentation).
+
+For each model x technique cell of Example 2, split execution time into
+busy / read / write / acquire stall components, normalized so each
+model's baseline bar is 100.  The paper's qualitative claims become
+assertable shape properties:
+
+* read stall dominates the baseline under SC (the serialised misses);
+* prefetching shrinks read stall but cannot touch the dependent
+  ``read E[D]`` miss; speculation removes read stall almost entirely;
+* per-CPU cause counts always sum exactly to the run's cycle count.
+"""
+
+from conftest import report
+
+from repro.obs.report import example_breakdown_matrix
+from repro.sim.stats import StatsRegistry
+
+
+def test_breakdown_matrix_example2(benchmark):
+    merged = StatsRegistry()
+    table = benchmark(example_breakdown_matrix, "example2",
+                      normalize=True, merged=merged)
+    report(table)
+
+    rows = {(row[0], row[1]): row for row in table.rows}
+    # columns: model, technique, busy, read, write, acquire, other, total
+    sc_base = rows[("SC", "baseline")]
+    sc_spec = rows[("SC", "speculation")]
+    assert sc_base[7] == 100.0
+    # read stall dominates the SC baseline...
+    assert sc_base[3] > sc_base[2] + sc_base[4] + sc_base[5]
+    # ...and speculation removes nearly all of it
+    assert sc_spec[3] < 0.1 * sc_base[3]
+    assert sc_spec[7] < 0.5 * sc_base[7]
+    # prefetch alone helps SC but is beaten by speculation (the
+    # dependent read E[D] cannot be prefetched)
+    assert rows[("SC", "prefetch")][7] < sc_base[7]
+    assert sc_spec[7] < rows[("SC", "prefetch")][7]
+
+    # the merged registry holds every cell's counters: the SC baseline
+    # cause counters must sum exactly to its cycle count scale (100%)
+    from repro.obs.accounting import breakdown_from_stats
+    bd = breakdown_from_stats(merged, cpu=0, prefix="SC/baseline/")
+    assert bd.total > 0
+    assert sum(bd.counts.values()) == bd.total

@@ -24,6 +24,7 @@ from .experiments import (
     related_work_table,
     rmw_handoff_table,
     rollback_cost_table,
+    stall_breakdown_table,
     traffic_table,
 )
 from .tables import Table, bar_chart, series_chart, speedup_table
@@ -59,5 +60,6 @@ __all__ = [
     "rollback_cost_table",
     "series_chart",
     "speedup_table",
+    "stall_breakdown_table",
     "traffic_table",
 ]

@@ -461,3 +461,28 @@ def traffic_table(miss_latency: int = 100, jobs: int = 1) -> Table:
     table.add_note("prefetched references access the cache twice, but only "
                    "in cycles where demand accesses were stalled anyway")
     return table
+
+
+# ----------------------------------------------------------------------
+# E11: stall breakdown (Figures 3-7 presentation, via repro.obs)
+# ----------------------------------------------------------------------
+
+def stall_breakdown_table(
+    example: str = "example2",
+    models: Sequence[ConsistencyModel] = (SC, PC, WC, RC),
+    miss_latency: int = 100,
+    jobs: int = 1,
+    normalize: bool = True,
+) -> Table:
+    """Normalized execution-time breakdown per model x technique.
+
+    Thin wrapper over :func:`repro.obs.report.example_breakdown_matrix`
+    so the experiment suite and EXPERIMENTS.md pick the table up; the
+    import is deferred because ``repro.obs.report`` itself imports this
+    package's table machinery.
+    """
+    from ..obs.report import example_breakdown_matrix
+
+    return example_breakdown_matrix(
+        example, models=models, miss_latency=miss_latency, jobs=jobs,
+        normalize=normalize)

@@ -30,6 +30,7 @@ from ..memory.interconnect import Interconnect
 from ..memory.types import LatencyConfig
 from ..sim.errors import ProtocolError
 from ..sim.kernel import Simulator
+from ..sim.trace import NullTraceRecorder, TraceRecorder
 from .messages import DIRECTORY_NODE, Message, MessageKind, NodeId
 
 
@@ -70,9 +71,11 @@ class DirectoryController:
         net: Interconnect,
         latencies: Optional[LatencyConfig] = None,
         line_size: int = 4,
+        trace: Optional[TraceRecorder] = None,
     ) -> None:
         self.sim = sim
         self.net = net
+        self.trace = trace or NullTraceRecorder()
         self.lat = latencies or LatencyConfig()
         self.line_size = line_size
         self._entries: Dict[int, DirEntry] = {}
@@ -175,6 +178,9 @@ class DirectoryController:
     def _accept_request(self, msg: Message) -> None:
         if msg.line_addr in self._busy:
             self.stat_queued.inc()
+            self.trace.record(self.sim.cycle, "dir", "queued",
+                              line=msg.line_addr, op=msg.kind.value,
+                              src=msg.src)
             self._queues.setdefault(msg.line_addr, deque()).append(msg)
             return
         self._start(msg)
@@ -191,11 +197,16 @@ class DirectoryController:
         if msg.kind is MessageKind.UPDATE_WRITE:
             txn.txn_id = msg.txn  # the cache's own txn id, echoed in UPDATE_DONE
         self._busy[msg.line_addr] = txn
+        self.trace.record(self.sim.cycle, "dir", "txn_start",
+                          txn=txn.txn_id, line=txn.line_addr,
+                          op=msg.kind.value, src=msg.src)
         # Directory lookup + memory access latency, then act.
         self.sim.schedule(self.lat.memory, lambda: self._act(txn),
                           label=f"dir act {msg.describe()}")
 
     def _finish(self, txn: Transaction) -> None:
+        self.trace.record(self.sim.cycle, "dir", "txn_finish",
+                          txn=txn.txn_id, line=txn.line_addr)
         del self._busy[txn.line_addr]
         queue = self._queues.get(txn.line_addr)
         if queue:
@@ -234,6 +245,8 @@ class DirectoryController:
                 f"owner {ent.owner} issued READ for line {txn.line_addr:#x} it still owns"
             )
         self.stat_recalls.inc()
+        self.trace.record(self.sim.cycle, "dir", "recall_sent",
+                          txn=txn.txn_id, line=txn.line_addr, dst=ent.owner)
         self._send(MessageKind.RECALL, ent.owner, txn)
 
     def _act_readx(self, txn: Transaction, upgrade: bool = False) -> None:
@@ -255,6 +268,9 @@ class DirectoryController:
                 return
             for node in others:
                 self.stat_invals.inc()
+                self.trace.record(self.sim.cycle, "dir", "inval_sent",
+                                  txn=txn.txn_id, line=txn.line_addr,
+                                  dst=node)
                 self._send(MessageKind.INVAL, node, txn)
             return
         # EXCLUSIVE at another cache: recall-invalidate it.
@@ -263,6 +279,8 @@ class DirectoryController:
                 f"owner {ent.owner} re-requested exclusive line {txn.line_addr:#x}"
             )
         self.stat_recalls.inc()
+        self.trace.record(self.sim.cycle, "dir", "recall_sent",
+                          txn=txn.txn_id, line=txn.line_addr, dst=ent.owner)
         self._send(MessageKind.RECALL_INVAL, ent.owner, txn)
 
     def _act_update_write(self, txn: Transaction) -> None:

@@ -575,6 +575,12 @@ class LoadStoreUnit:
             self._apply_correction(corr, kind)
 
     def _apply_correction(self, corr: Correction, kind: SnoopKind) -> None:
+        # rollback-cause accounting: which coherence event triggered
+        # which correction (Section 4.2's detection outcomes)
+        bucket = ("reissue" if corr.kind is CorrectionKind.REISSUE
+                  else "rollback")
+        self.sim.stats.counter(
+            f"cpu{self.cpu_id}/slb/{bucket}_cause/{kind.value}").inc()
         op = self.pending.get(corr.seq)
         if corr.kind is CorrectionKind.REISSUE:
             if op is None or op.is_rmw:

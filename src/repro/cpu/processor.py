@@ -30,6 +30,7 @@ from ..isa.instructions import (
 from ..isa.program import Program
 from ..isa.registers import RegisterFile
 from ..memory.cache import LockupFreeCache
+from ..obs.accounting import CycleAccountant
 from ..sim.kernel import Component, Simulator
 from ..sim.trace import NullTraceRecorder, TraceRecorder
 from .branch import BranchPredictor
@@ -37,6 +38,11 @@ from .config import ProcessorConfig
 from .lsu import LoadStoreUnit
 from .rob import Operand, ReorderBuffer, RobEntry
 from .units import AluUnit, BranchUnit
+
+
+def _reason_slug(reason: str) -> str:
+    """A squash reason as a stable stat-name component."""
+    return reason.replace(" ", "_").replace("/", "_")
 
 
 class Processor(Component):
@@ -80,6 +86,8 @@ class Processor(Component):
         self.stat_squashed = s.counter(f"{self.name}/instructions_squashed")
         self.stat_squashes = s.counter(f"{self.name}/squash_events")
         self.stat_mispredicts = s.counter(f"{self.name}/branch_mispredicts")
+        self.stat_squash_depth = s.histogram(f"{self.name}/squash_depth")
+        self.accountant = CycleAccountant(s, self.name)
 
     # ------------------------------------------------------------------
     # Per-cycle pipeline (reverse dataflow order)
@@ -89,12 +97,19 @@ class Processor(Component):
             # the program has retired, but stores already signalled may
             # still be draining from the store buffer (RC/WC/PC)
             self.lsu.tick(cycle)
+            self.accountant.account_drained(self.lsu.is_empty())
             return
+        retired_before = self.stat_retired.value
         self._retire(cycle)
         self.lsu.tick(cycle)
         self.branch_unit.tick(cycle)
         self.alu_unit.tick(cycle)
         self._decode(cycle)
+        self.accountant.account(
+            retired=self.stat_retired.value - retired_before,
+            head=self.rob.head(),
+            rob_full=self.rob.full,
+        )
 
     def is_quiescent(self) -> bool:
         return self.finished and self.lsu.is_empty()
@@ -276,6 +291,10 @@ class Processor(Component):
         self.finished = False
         self.stat_squashes.inc()
         self.stat_squashed.inc(len(squashed))
+        self.stat_squash_depth.add(len(squashed))
+        self.sim.stats.counter(
+            f"{self.name}/squash_reason/{_reason_slug(reason)}").inc()
+        self.accountant.note_squash()
         self.trace.record(self.sim.cycle, self.name, "squash",
                           count=len(squashed), from_seq=seq,
                           refetch_pc=refetch_pc, reason=reason)

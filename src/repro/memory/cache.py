@@ -92,6 +92,9 @@ class LockupFreeCache:
         self._update_txns: Dict[int, AccessRequest] = {}
         # uncached operations in flight, keyed by txn id (Appendix A)
         self._uncached_txns: Dict[int, AccessRequest] = {}
+        # lines brought in by a prefetch and not yet touched by any
+        # demand access — the basis of useful/late/useless accounting
+        self._prefetched_unused: set = set()
         net.attach(node, self.receive)
 
         s = sim.stats
@@ -102,6 +105,13 @@ class LockupFreeCache:
         self.stat_prefetches = s.counter(f"{prefix}/prefetches_issued")
         self.stat_prefetch_discarded = s.counter(f"{prefix}/prefetches_discarded")
         self.stat_prefetch_useful = s.counter(f"{prefix}/prefetches_useful")
+        # effectiveness split: "late" = a demand access caught the
+        # prefetch still in flight (merged; latency only partly hidden);
+        # "useful_hit" = the demand access hit a completed prefetch;
+        # "useless_invalidated" = the line left the cache untouched
+        self.stat_prefetch_late = s.counter(f"{prefix}/prefetches_late")
+        self.stat_prefetch_useful_hit = s.counter(f"{prefix}/prefetches_useful_hit")
+        self.stat_prefetch_wasted = s.counter(f"{prefix}/prefetches_useless_invalidated")
         self.stat_invals = s.counter(f"{prefix}/invals_received")
         self.stat_updates = s.counter(f"{prefix}/updates_received")
         self.stat_replacements = s.counter(f"{prefix}/replacements")
@@ -175,6 +185,10 @@ class LockupFreeCache:
                                  or (line.state is LineState.SHARED and not needs_excl)):
             self._use_port()
             self.stat_hits.inc()
+            if line_addr in self._prefetched_unused:
+                self._prefetched_unused.discard(line_addr)
+                self.stat_prefetch_useful.inc()
+                self.stat_prefetch_useful_hit.inc()
             self._touch(line)
             req.issued_cycle = self.sim.cycle
             self.sim.schedule(self.config.hit_latency,
@@ -190,6 +204,7 @@ class LockupFreeCache:
             if mshr.prefetch_only:
                 mshr.prefetch_only = False
                 self.stat_prefetch_useful.inc()
+                self.stat_prefetch_late.inc()
             if needs_excl and not mshr.exclusive:
                 mshr.pending_exclusive.append(req)
             else:
@@ -429,8 +444,24 @@ class LockupFreeCache:
         self.trace.record(self.sim.cycle, f"cache{self.node}", "fill",
                           line=line_addr, state=state.value)
 
+    def _mark_prefetch_fill(self, entry: MshrEntry) -> None:
+        """A fill landed for ``entry``; if it was still prefetch-only
+        (no demand access merged onto it), start tracking whether the
+        line is ever used before it leaves the cache."""
+        if (entry.prefetch_only and not entry.waiters
+                and not entry.pending_exclusive):
+            self._prefetched_unused.add(entry.line_addr)
+
+    def _note_prefetched_line_lost(self, line_addr: int) -> None:
+        """The line left the cache (invalidation or replacement)
+        without any demand access touching it: the prefetch was wasted."""
+        if line_addr in self._prefetched_unused:
+            self._prefetched_unused.discard(line_addr)
+            self.stat_prefetch_wasted.inc()
+
     def _evict(self, line: CacheLine) -> None:
         self.stat_replacements.inc()
+        self._note_prefetched_line_lost(line.line_addr)
         # record before notifying: corrections the snoop listeners emit
         # must appear after their cause in the trace
         self.trace.record(self.sim.cycle, f"cache{self.node}", "evict",
@@ -451,6 +482,7 @@ class LockupFreeCache:
             self.sim.schedule(1, lambda: self._on_data(msg), label="fill retry")
             return
         del self.mshrs[msg.line_addr]
+        self._mark_prefetch_fill(entry)
         waiters = entry.waiters
         pending_excl = entry.pending_exclusive
         for req in waiters:
@@ -488,6 +520,7 @@ class LockupFreeCache:
             self.sim.schedule(1, lambda: self._on_data_excl(msg), label="fill retry")
             return
         del self.mshrs[msg.line_addr]
+        self._mark_prefetch_fill(entry)
         for req in entry.waiters + entry.pending_exclusive:
             self._complete_access(req, msg.line_addr)
 
@@ -499,6 +532,7 @@ class LockupFreeCache:
         line = self._find_line(msg.line_addr)
         if line is not None:
             line.state = LineState.INVALID
+            self._note_prefetched_line_lost(msg.line_addr)
         self.trace.record(self.sim.cycle, f"cache{self.node}", "inval", line=msg.line_addr)
         self._notify_snoop(SnoopKind.INVALIDATION, msg.line_addr)
         self._send(MessageKind.INVAL_ACK, msg.line_addr, txn=msg.txn)
@@ -522,6 +556,7 @@ class LockupFreeCache:
             if line.state is LineState.MODIFIED:
                 data = list(line.data)
             line.state = LineState.INVALID
+            self._note_prefetched_line_lost(msg.line_addr)
         self.trace.record(self.sim.cycle, f"cache{self.node}", "inval", line=msg.line_addr)
         self._notify_snoop(SnoopKind.INVALIDATION, msg.line_addr)
         self._send(MessageKind.RECALL_ACK, msg.line_addr, txn=msg.txn, data=data)

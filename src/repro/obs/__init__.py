@@ -1,0 +1,66 @@
+"""Observability: cycle accounting, effectiveness metrics, trace export.
+
+The paper's results are *normalized execution-time breakdowns*; this
+package reproduces that accounting on the detailed simulator and adds
+the modern tooling around it — per-cause cycle blame
+(:mod:`~repro.obs.accounting`), prefetch/speculation effectiveness
+counters (:mod:`~repro.obs.effectiveness`), streaming JSONL traces
+(:mod:`~repro.obs.jsonl`) and Chrome/Perfetto timeline export
+(:mod:`~repro.obs.perfetto`).  ``python -m repro.obs`` is the CLI.
+
+Import discipline: this package is imported by the processor core, so
+only modules that depend on nothing above ``repro.sim`` are pulled in
+here.  The heavyweight report layer (:mod:`repro.obs.report`, which
+needs workloads and the sweep engine) must be imported explicitly by
+entry points.
+"""
+
+from .accounting import (
+    CAUSES,
+    PAPER_CAUSES,
+    CycleAccountant,
+    CycleBreakdown,
+    StallCause,
+    breakdown_from_stats,
+    machine_breakdown,
+    per_cpu_breakdowns,
+    render_breakdown,
+)
+from .effectiveness import (
+    PrefetchEffectiveness,
+    SpeculationEffectiveness,
+    prefetch_effectiveness,
+    render_effectiveness,
+    speculation_effectiveness,
+)
+from .jsonl import JsonlTraceRecorder, read_jsonl, write_jsonl
+from .perfetto import (
+    export_chrome_trace,
+    to_trace_events,
+    validate_trace_events,
+    validate_trace_file,
+)
+
+__all__ = [
+    "CAUSES",
+    "PAPER_CAUSES",
+    "CycleAccountant",
+    "CycleBreakdown",
+    "JsonlTraceRecorder",
+    "PrefetchEffectiveness",
+    "SpeculationEffectiveness",
+    "StallCause",
+    "breakdown_from_stats",
+    "export_chrome_trace",
+    "machine_breakdown",
+    "per_cpu_breakdowns",
+    "prefetch_effectiveness",
+    "read_jsonl",
+    "render_breakdown",
+    "render_effectiveness",
+    "speculation_effectiveness",
+    "to_trace_events",
+    "validate_trace_events",
+    "validate_trace_file",
+    "write_jsonl",
+]

@@ -1,0 +1,203 @@
+"""Cycle accounting: blame every cycle on exactly one cause.
+
+The paper's central results (Figures 3-7) are *normalized execution
+time breakdowns*: each model x technique bar splits total time into
+busy time and per-cause stall time.  This module reproduces that
+accounting on the detailed simulator.
+
+Every cycle of every CPU is attributed to exactly one
+:class:`StallCause`, decided by commit-blame: if at least one
+instruction retired this cycle the cycle was *busy*; otherwise the
+oldest instruction in the reorder buffer (the retirement bottleneck) is
+blamed —
+
+* an acquire (lock RMW or acquiring load) at the head is an
+  **acquire/fence stall**;
+* any other load at the head is a **read stall**;
+* a store or plain RMW at the head is a **write/store-buffer stall**
+  (this is where SC's store-completion rule shows up);
+* a non-memory head that cannot complete while the reorder buffer is
+  full is a **ROB-full stall**;
+* cycles spent refilling the pipeline after a squash (branch
+  mispredict or speculative-load correction) are **rollback**;
+* everything else — frontend fill, in-flight ALU work — counts as
+  busy, and cycles after a finished program has fully drained are
+  **idle** (only visible on multiprocessor runs where another CPU is
+  still working, and in the few fabric-drain cycles at the end).
+
+Because the classification is total and exclusive, the per-CPU cause
+counters sum *exactly* to the run's cycle count — the invariant the
+golden-number breakdown tests pin.
+
+Counters land in the shared :class:`~repro.sim.stats.StatsRegistry`
+under ``cpu<k>/cycles/<cause>``, so breakdowns from parallel sweep
+workers aggregate with :meth:`StatsRegistry.merge_from` like every
+other statistic.
+
+This module deliberately imports nothing above ``repro.sim`` so the
+processor can depend on it without import cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
+
+from ..sim.stats import StatsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..cpu.rob import RobEntry
+
+
+class StallCause(enum.Enum):
+    """Where a CPU cycle went.  Values double as stat-name suffixes."""
+
+    BUSY = "busy"
+    READ = "read_stall"
+    WRITE = "write_stall"
+    ACQUIRE = "acquire_stall"
+    ROB_FULL = "rob_full"
+    ROLLBACK = "rollback"
+    IDLE = "idle"
+
+
+#: All causes, in report order (busy first, idle last).
+CAUSES = tuple(StallCause)
+
+#: The paper's four headline categories (Figures 3-7 bar segments).
+PAPER_CAUSES = (StallCause.BUSY, StallCause.READ, StallCause.WRITE,
+                StallCause.ACQUIRE)
+
+
+class CycleAccountant:
+    """Per-CPU cycle blame, fed once per tick by the processor."""
+
+    def __init__(self, stats: StatsRegistry, name: str) -> None:
+        self.name = name
+        self._counters = {
+            cause: stats.counter(f"{name}/cycles/{cause.value}")
+            for cause in CAUSES
+        }
+        self._refilling = False  # between a squash and the next retirement
+
+    # ------------------------------------------------------------------
+    def note_squash(self) -> None:
+        """The processor discarded in-flight work; until something
+        retires again, otherwise-unattributable cycles are rollback."""
+        self._refilling = True
+
+    def account(self, retired: int, head: Optional["RobEntry"],
+                rob_full: bool) -> None:
+        """Attribute the cycle that just executed (active program)."""
+        self._counters[self._classify(retired, head, rob_full)].inc()
+
+    def account_drained(self, lsu_empty: bool) -> None:
+        """Attribute a cycle after the program retired its Halt: the
+        store buffer may still be draining (write stall), after which
+        the CPU is idle."""
+        cause = StallCause.IDLE if lsu_empty else StallCause.WRITE
+        self._counters[cause].inc()
+
+    # ------------------------------------------------------------------
+    def _classify(self, retired: int, head: Optional["RobEntry"],
+                  rob_full: bool) -> StallCause:
+        if retired > 0:
+            self._refilling = False
+            return StallCause.BUSY
+        if head is None:
+            # empty window: the frontend is filling — after a squash
+            # that refill time is the visible cost of the rollback
+            return StallCause.ROLLBACK if self._refilling else StallCause.BUSY
+        instr = head.instr
+        if instr.is_memory:
+            if instr.is_acquire:
+                return StallCause.ACQUIRE
+            if instr.is_store or instr.is_rmw:
+                return StallCause.WRITE
+            return StallCause.READ
+        if self._refilling:
+            return StallCause.ROLLBACK
+        if rob_full:
+            return StallCause.ROB_FULL
+        return StallCause.BUSY
+
+
+@dataclass
+class CycleBreakdown:
+    """One CPU's cycle-cause totals (the data behind one paper bar)."""
+
+    counts: Dict[StallCause, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def get(self, cause: StallCause) -> int:
+        return self.counts.get(cause, 0)
+
+    def fraction(self, cause: StallCause) -> float:
+        total = self.total
+        return self.get(cause) / total if total else 0.0
+
+    def normalized(self, baseline_total: int) -> Dict[StallCause, float]:
+        """Each cause as a percentage of ``baseline_total`` (the
+        paper's convention: every bar is scaled so the model's baseline
+        bar is 100)."""
+        if baseline_total <= 0:
+            return {cause: 0.0 for cause in CAUSES}
+        return {cause: 100.0 * self.get(cause) / baseline_total
+                for cause in CAUSES}
+
+    def merged_with(self, other: "CycleBreakdown") -> "CycleBreakdown":
+        counts = dict(self.counts)
+        for cause, n in other.counts.items():
+            counts[cause] = counts.get(cause, 0) + n
+        return CycleBreakdown(counts)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {cause.value: self.get(cause) for cause in CAUSES}
+
+
+def breakdown_from_stats(stats: StatsRegistry, cpu: int,
+                         prefix: str = "") -> CycleBreakdown:
+    """Read one CPU's breakdown back out of a (possibly merged) registry.
+
+    ``prefix`` addresses counters aggregated with
+    ``StatsRegistry.merge_from(other, prefix=...)``."""
+    return CycleBreakdown({
+        cause: stats.counter(f"{prefix}cpu{cpu}/cycles/{cause.value}").value
+        for cause in CAUSES
+    })
+
+
+def per_cpu_breakdowns(stats: StatsRegistry, num_cpus: int) -> List[CycleBreakdown]:
+    return [breakdown_from_stats(stats, cpu) for cpu in range(num_cpus)]
+
+
+def machine_breakdown(stats: StatsRegistry, num_cpus: int) -> CycleBreakdown:
+    """All CPUs' causes summed — the machine-wide stall distribution."""
+    total = CycleBreakdown()
+    for bd in per_cpu_breakdowns(stats, num_cpus):
+        total = total.merged_with(bd)
+    return total
+
+
+def render_breakdown(
+    breakdowns: Mapping[str, CycleBreakdown],
+    title: str = "cycle breakdown",
+) -> str:
+    """Plain-text per-row breakdown table (no heavy dependencies, so
+    ``run.py --breakdown`` stays importable from anywhere)."""
+    columns = ["" ] + [cause.value for cause in CAUSES] + ["total"]
+    rows: List[List[str]] = []
+    for label, bd in breakdowns.items():
+        rows.append([label] + [str(bd.get(c)) for c in CAUSES] + [str(bd.total)])
+    widths = [max(len(columns[i]), *(len(r[i]) for r in rows)) if rows
+              else len(columns[i])
+              for i in range(len(columns))]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(c.rjust(w) for c, w in zip(columns, widths)))
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

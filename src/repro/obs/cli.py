@@ -1,0 +1,121 @@
+"""Observability command line (``python -m repro.obs``).
+
+Subcommands::
+
+    breakdown  run a paper example across models x techniques and print
+               the stall-breakdown matrix (Figures 3-7 presentation)
+    convert    turn a JSONL trace dump into a Chrome/Perfetto JSON file
+    validate   structurally check a trace_event JSON file (CI gate)
+
+Examples::
+
+    python -m repro.obs breakdown example2 --normalize --jobs 4
+    python -m repro.obs convert run.jsonl run.trace.json
+    python -m repro.obs validate run.trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List, Optional
+
+from .perfetto import export_chrome_trace, validate_trace_file
+
+
+def _cmd_breakdown(args: argparse.Namespace) -> int:
+    # heavy import (workloads + simulator) deferred until needed
+    from ..consistency.models import get_model
+    from ..sim.stats import StatsRegistry
+    from .report import DEFAULT_MODELS, example_breakdown_matrix
+
+    models = (tuple(get_model(m) for m in args.models)
+              if args.models else DEFAULT_MODELS)
+    merged: Optional[StatsRegistry] = StatsRegistry() if args.stats_json else None
+    table = example_breakdown_matrix(
+        args.example,
+        models=models,
+        miss_latency=args.miss_latency,
+        jobs=args.jobs,
+        normalize=args.normalize,
+        merged=merged,
+    )
+    print(table.render())
+    if args.stats_json and merged is not None:
+        with open(args.stats_json, "w") as fh:
+            json.dump(merged.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"merged statistics written to {args.stats_json}")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from .jsonl import read_jsonl
+
+    events = read_jsonl(args.jsonl)
+    obj = export_chrome_trace(events, args.output)
+    print(f"{args.output}: {len(obj['traceEvents'])} trace event(s) "
+          f"from {len(events)} recorded event(s)")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    status = 0
+    for path in args.files:
+        errors = validate_trace_file(path)
+        if errors:
+            status = 1
+            print(f"{path}: INVALID")
+            for err in errors[:args.max_errors]:
+                print(f"  {err}")
+            if len(errors) > args.max_errors:
+                print(f"  ... and {len(errors) - args.max_errors} more")
+        else:
+            print(f"{path}: ok")
+    return status
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Cycle accounting and trace-export utilities.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("breakdown",
+                       help="stall-breakdown matrix for a paper example")
+    p.add_argument("example", nargs="?", default="example2",
+                   choices=("example1", "example2", "figure5"))
+    p.add_argument("--models", nargs="*", metavar="MODEL",
+                   help="models to include (default: SC PC WC RC)")
+    p.add_argument("--miss-latency", type=int, default=100)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel sweep workers")
+    p.add_argument("--raw", dest="normalize", action="store_false",
+                   help="print raw cycle counts instead of normalized %")
+    p.add_argument("--stats-json", metavar="FILE",
+                   help="write the merged per-cell statistics registry here")
+    p.set_defaults(func=_cmd_breakdown)
+
+    p = sub.add_parser("convert",
+                       help="JSONL trace -> Chrome/Perfetto trace_event JSON")
+    p.add_argument("jsonl", help="input JSONL trace (see --trace-jsonl)")
+    p.add_argument("output", help="output trace_event JSON file")
+    p.set_defaults(func=_cmd_convert)
+
+    p = sub.add_parser("validate",
+                       help="structurally check trace_event JSON files")
+    p.add_argument("files", nargs="+", help="trace_event JSON files")
+    p.add_argument("--max-errors", type=int, default=20)
+    p.set_defaults(func=_cmd_validate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

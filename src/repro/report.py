@@ -31,6 +31,7 @@ from .analysis import (
     rob_size_table,
     rollback_cost_table,
     slb_size_table,
+    stall_breakdown_table,
     traffic_table,
 )
 
@@ -73,6 +74,10 @@ SECTIONS: List[Tuple[str, Callable[[], object]]] = [
     ("E8  Related work", related_work_table),
     ("E9  RMW hand-off", rmw_handoff_table),
     ("E10 Prefetch traffic", traffic_table),
+    ("E11 Stall breakdown (example1)",
+     lambda: stall_breakdown_table("example1")),
+    ("E11 Stall breakdown (example2)",
+     lambda: stall_breakdown_table("example2")),
     ("A1  Lookahead window", lookahead_window_table),
     ("A2  HW vs SW prefetch", hw_vs_sw_prefetch_table),
     ("A3  SLB size", slb_size_table),

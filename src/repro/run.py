@@ -3,17 +3,26 @@
 Takes one or more assembly files (one per processor), a consistency
 model, and technique flags; runs the multiprocessor to completion and
 prints cycles, per-CPU registers, and memory/statistics summaries.
+``--example`` substitutes one of the paper's built-in kernels (with
+their warm-cache / initial-memory environment) for the assembly files.
 
 Example::
 
     python -m repro.run producer.s consumer.s --model RC \
         --prefetch --speculation --miss-latency 100 \
         --init 0x80=0 --watch 0x40 --stats
+
+Observability outputs::
+
+    python -m repro.run --example example2 --model SC --breakdown
+    python -m repro.run prog.s --stats-json stats.json \
+        --perfetto run.trace.json --trace-jsonl run.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from typing import Dict, List, Optional
 
 from .consistency import get_model
@@ -37,8 +46,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.run",
         description="Run assembly programs on the multiprocessor simulator.",
     )
-    parser.add_argument("programs", nargs="+",
+    parser.add_argument("programs", nargs="*",
                         help="assembly files, one per processor")
+    parser.add_argument("--example",
+                        choices=("example1", "example2", "figure5"),
+                        help="run a built-in paper kernel (with its "
+                             "warm-cache/memory environment) instead of "
+                             "assembly files")
     parser.add_argument("--model", default="SC",
                         help="consistency model: SC, PC, WC, RC, RCsc")
     parser.add_argument("--prefetch", action="store_true",
@@ -64,12 +78,40 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--sanitize", action="store_true",
                         help="check trace invariants after the run "
                              "(exits non-zero on a violation)")
+    parser.add_argument("--breakdown", action="store_true",
+                        help="print the per-CPU cycle-cause breakdown "
+                             "and technique-effectiveness counters")
+    parser.add_argument("--stats-json", metavar="FILE",
+                        help="write the statistics snapshot as JSON")
+    parser.add_argument("--perfetto", metavar="FILE",
+                        help="export the trace as Chrome/Perfetto "
+                             "trace_event JSON (implies tracing)")
+    parser.add_argument("--trace-jsonl", metavar="FILE",
+                        help="stream every trace event to FILE as JSONL "
+                             "(implies tracing)")
+    parser.add_argument("--trace-limit", type=int, metavar="N",
+                        default=TraceRecorder.DEFAULT_BATCH_MAX_EVENTS,
+                        help="keep at most N trace events in memory "
+                             "(0 = unbounded; --sanitize needs the full "
+                             "trace and ignores the limit)")
     args = parser.parse_args(argv)
+
+    if not args.programs and not args.example:
+        parser.error("need assembly files or --example")
 
     programs = []
     for path in args.programs:
         with open(path) as fh:
             programs.append(assemble(fh.read()))
+
+    initial_memory = parse_init(args.init)
+    warm_lines = ()
+    if args.example:
+        from .obs.report import example_workload
+        wl = example_workload(args.example)
+        programs.append(wl.program)
+        warm_lines = wl.warm_lines
+        initial_memory = {**wl.initial_memory, **initial_memory}
 
     model = get_model(args.model)
     if args.analyze:
@@ -77,14 +119,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(analyze_programs(programs, model).render())
         print()
 
-    trace = TraceRecorder() if (args.trace or args.sanitize) else None
+    tracing = (args.trace or args.sanitize or args.perfetto
+               or args.trace_jsonl)
+    trace = None
+    if tracing:
+        # the sanitizer checks whole-run invariants, so it must see an
+        # unbounded trace; everything else respects --trace-limit
+        limit = (None if (args.sanitize or args.trace_limit <= 0)
+                 else args.trace_limit)
+        if args.trace_jsonl:
+            from .obs.jsonl import JsonlTraceRecorder
+            trace = JsonlTraceRecorder(args.trace_jsonl, max_events=limit)
+        else:
+            trace = TraceRecorder(max_events=limit)
     result = run_workload(
         programs,
         model=model,
         prefetch=args.prefetch,
         speculation=args.speculation,
         miss_latency=args.miss_latency,
-        initial_memory=parse_init(args.init),
+        initial_memory=initial_memory,
+        warm_lines=warm_lines,
         max_cycles=args.max_cycles,
         trace=trace,
     )
@@ -105,9 +160,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.summary:
         from .analysis.summary import summary_table
         print(summary_table(result).render())
+    if args.breakdown:
+        from .obs.report import breakdown_table, effectiveness_table
+        print(breakdown_table(result).render())
+        print(effectiveness_table(result).render())
     if args.stats:
         from .sim.stats import format_stats_table
         print(format_stats_table(result.stats.snapshot(), title="statistics"))
+    if args.stats_json:
+        snapshot = dict(result.stats.snapshot())
+        snapshot["cycles"] = result.cycles
+        with open(args.stats_json, "w") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"statistics written to {args.stats_json}")
+    if args.perfetto and trace is not None:
+        from .obs.perfetto import export_chrome_trace
+        obj = export_chrome_trace(trace, args.perfetto)
+        dropped = f" ({trace.dropped} dropped)" if trace.dropped else ""
+        print(f"perfetto trace written to {args.perfetto} "
+              f"({len(obj['traceEvents'])} event(s){dropped})")
+    if args.trace_jsonl and trace is not None:
+        trace.close()
+        print(f"jsonl trace written to {args.trace_jsonl} "
+              f"({trace.streamed} event(s))")
     if args.sanitize and trace is not None:
         from .analysis.static import sanitize_trace
         report = sanitize_trace(trace, model=model)

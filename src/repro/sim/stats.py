@@ -118,6 +118,9 @@ class StatsRegistry:
             out[name + "/mean"] = round(h.mean, 3)
             out[name + "/min"] = h.min
             out[name + "/max"] = h.max
+            out[name + "/p50"] = h.percentile(50)
+            out[name + "/p95"] = h.percentile(95)
+            out[name + "/p99"] = h.percentile(99)
         return out
 
     def reset(self) -> None:
@@ -137,7 +140,11 @@ class StatsRegistry:
 
 
 def format_stats_table(stats: Mapping[str, object], title: str = "") -> str:
-    """Render a stats mapping as an aligned two-column text table."""
+    """Render a stats mapping as an aligned two-column text table.
+
+    Values are right-aligned in a common column; floats are rendered
+    with a fixed precision so mixed int/float listings line up.
+    """
     lines: List[str] = []
     if title:
         lines.append(title)
@@ -145,7 +152,15 @@ def format_stats_table(stats: Mapping[str, object], title: str = "") -> str:
     if not stats:
         lines.append("(no statistics)")
         return "\n".join(lines)
-    width = max(len(k) for k in stats)
-    for key, value in stats.items():
-        lines.append(f"{key:<{width}}  {value}")
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    rendered = {key: fmt(value) for key, value in stats.items()}
+    key_width = max(len(k) for k in rendered)
+    value_width = max(len(v) for v in rendered.values())
+    for key, value in rendered.items():
+        lines.append(f"{key:<{key_width}}  {value:>{value_width}}")
     return "\n".join(lines)

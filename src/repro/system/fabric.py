@@ -64,7 +64,8 @@ class MemoryFabric:
         self.latencies = latencies or LatencyConfig()
         self.net = Interconnect(sim, latency_by_kind(self.latencies))
         self.directory = DirectoryController(
-            sim, self.net, self.latencies, line_size=self.cache_config.line_size
+            sim, self.net, self.latencies,
+            line_size=self.cache_config.line_size, trace=trace,
         )
         self.caches: List[LockupFreeCache] = [
             LockupFreeCache(cpu, sim, self.net, self.cache_config, trace=trace)

@@ -19,6 +19,7 @@ from ..cpu.config import ProcessorConfig
 from ..cpu.processor import Processor
 from ..isa.program import Program
 from ..memory.types import CacheConfig, LatencyConfig
+from ..obs.accounting import CycleBreakdown, machine_breakdown, per_cpu_breakdowns
 from ..sim.errors import ConfigurationError
 from ..sim.kernel import Simulator
 from ..sim.stats import StatsRegistry
@@ -55,6 +56,14 @@ class RunResult:
 
     def counter(self, name: str) -> int:
         return self.stats.counter(name).value
+
+    def breakdowns(self) -> List[CycleBreakdown]:
+        """Per-CPU cycle-cause breakdowns (each sums to ``cycles``)."""
+        return per_cpu_breakdowns(self.stats, len(self.machine.processors))
+
+    def breakdown(self) -> CycleBreakdown:
+        """All CPUs' cycle causes summed."""
+        return machine_breakdown(self.stats, len(self.machine.processors))
 
 
 class Multiprocessor:
