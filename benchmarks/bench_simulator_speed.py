@@ -1,67 +1,57 @@
 """Simulator throughput: how fast the stack itself runs.
 
 Not a paper experiment — an engineering benchmark tracking the
-simulator's own performance (simulated cycles and retired instructions
-per wall-second) so regressions in the hot paths show up.
+simulator's own performance.  Since the host-performance observability
+layer landed, this file is a thin wrapper over the shared continuous-
+benchmark harness (:mod:`repro.obs.perf`): the same pinned cases, the
+same median-of-N measurement, and the same schema-versioned BENCH
+record that ``python -m repro.obs bench`` emits — instead of the old
+ad-hoc per-test numbers.
+
+Set ``REPRO_BENCH_DIR`` to also append the record to a trajectory
+directory (the CI perf-smoke job does this via the CLI instead).
 """
 
-import pytest
+import os
 
-from repro.consistency import RC, SC
-from repro.core import AnalyticalTimingModel
-from repro.system import run_workload
-from repro.workloads import critical_section_workload, random_segment
+from conftest import report
 
-
-def test_detailed_simulator_throughput(benchmark):
-    wl = critical_section_workload(num_cpus=2, iterations=3,
-                                   shared_counters=3, private=True)
-
-    def run():
-        return run_workload(wl.programs, model=RC, prefetch=True,
-                            speculation=True,
-                            initial_memory=wl.initial_memory,
-                            max_cycles=2_000_000)
-
-    result = benchmark(run)
-    # sanity: the run actually simulates a nontrivial machine
-    assert result.cycles > 100
-    retired = sum(result.counter(f"cpu{c}/instructions_retired")
-                  for c in range(2))
-    assert retired > 50
+from repro.obs.perf import (
+    default_suite,
+    render_record,
+    run_suite,
+    validate_bench_record,
+    write_record,
+)
 
 
-def test_analytical_model_throughput(benchmark):
-    engine = AnalyticalTimingModel()
-    segment = random_segment(length=60, sync_period=8, rng=3)
+def test_simulator_speed_suite_emits_bench_record():
+    suite = default_suite(quick=True)
+    record = run_suite(suite, repeats=2, quick=True)
 
-    def run():
-        return engine.schedule(segment, SC, prefetch=True,
-                               speculation=True).total_cycles
+    # the record must satisfy the same schema the regression gate reads
+    assert validate_bench_record(record) == []
 
-    total = benchmark(run)
-    assert total > 0
+    cases = record["cases"]
+    assert set(cases) == {case.name for case in suite}
+    for name, case in cases.items():
+        assert case["wall_seconds"] > 0, name
+        assert case["peak_rss_kb"] > 0, name
+    # the detailed-simulator cases actually simulate a nontrivial machine
+    assert cases["critical_section_detailed"]["sim_cycles"] > 100
+    assert cases["critical_section_detailed"]["instructions"] > 50
+    assert cases["critical_section_detailed"]["kips"] > 0
+    assert cases["example1_detailed"]["kips"] > 0
+    # the analytical model and the coherence ping-pong report cycle rates
+    assert cases["analytical_model"]["cycles_per_second"] > 0
+    assert cases["memory_pingpong"]["sim_cycles"] > 40
+    # pure-throughput cases report items/s instead of KIPS
+    assert cases["fuzz_slice"]["items_per_second"] > 0
+    assert cases["sweep_probe"]["items_per_second"] > 0
 
+    report(render_record(record))
 
-def test_memory_system_throughput(benchmark):
-    """Raw coherence traffic: ping-pong a line between two caches."""
-    from repro.memory import AccessKind, AccessRequest
-    from repro.sim import Simulator
-    from repro.system.fabric import MemoryFabric
-
-    def run():
-        sim = Simulator()
-        fabric = MemoryFabric(sim, num_cpus=2)
-        done = []
-        for i in range(40):
-            req = AccessRequest(req_id=i + 1, kind=AccessKind.STORE,
-                                addr=0x40, value=i,
-                                callback=lambda r, v: done.append(r.req_id))
-            cpu = i % 2
-            assert fabric.caches[cpu].access(req)
-            sim.run(until=lambda i=i: len(done) > i, max_cycles=100_000,
-                    deadlock_check=False)
-        return sim.cycle
-
-    cycles = benchmark(run)
-    assert cycles > 40
+    out_dir = os.environ.get("REPRO_BENCH_DIR")
+    if out_dir:
+        path = write_record(record, out_dir)
+        report(f"bench record written to {path}")

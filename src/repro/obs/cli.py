@@ -2,22 +2,29 @@
 
 Subcommands::
 
-    breakdown  run a paper example across models x techniques and print
-               the stall-breakdown matrix (Figures 3-7 presentation)
-    convert    turn a JSONL trace dump into a Chrome/Perfetto JSON file
-    validate   structurally check a trace_event JSON file (CI gate)
+    breakdown      run a paper example across models x techniques and print
+                   the stall-breakdown matrix (Figures 3-7 presentation)
+    convert        turn a JSONL trace dump into a Chrome/Perfetto JSON file
+    validate       structurally check a trace_event JSON file (CI gate)
+    bench          run the pinned host-performance suite and emit a
+                   BENCH_<timestamp>.json record (optionally gate on it)
+    bench-check    compare an existing BENCH record against the trajectory
+    bench-validate structurally check BENCH record files (CI gate)
 
 Examples::
 
     python -m repro.obs breakdown example2 --normalize --jobs 4
     python -m repro.obs convert run.jsonl run.trace.json
     python -m repro.obs validate run.trace.json
+    python -m repro.obs bench --quick
+    python -m repro.obs bench-check bench/BENCH_20260805T120000Z.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import sys
 from typing import List, Optional
 
 from .perfetto import export_chrome_trace, validate_trace_file
@@ -75,6 +82,114 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from . import perf
+
+    suite = perf.default_suite(quick=args.quick)
+    if args.cases:
+        known = {case.name for case in suite}
+        unknown = sorted(set(args.cases) - known)
+        if unknown:
+            print(f"unknown case(s) {unknown}; choose from {sorted(known)}",
+                  file=sys.stderr)
+            return 2
+        suite = [case for case in suite if case.name in args.cases]
+    repeats = args.repeats if args.repeats else (3 if args.quick else 5)
+
+    def progress(name: str) -> None:
+        if not args.quiet:
+            print(f"  running {name} (x{repeats}) ...", file=sys.stderr)
+
+    record = perf.run_suite(suite, repeats=repeats, quick=args.quick,
+                            progress=progress)
+    print(perf.render_record(record))
+    path: Optional[str] = None
+    if not args.no_write:
+        path = perf.write_record(record, args.out)
+        print(f"bench record written to {path}")
+
+    if not args.check:
+        return 0
+    trajectory_dir = args.trajectory or args.out
+    trajectory = perf.load_trajectory(trajectory_dir, exclude=path)
+    if not trajectory:
+        print(f"regression check: no trajectory in {trajectory_dir!r} "
+              "(this record becomes the baseline)")
+        return 0
+    verdicts = perf.detect_regressions(
+        [rec for _, rec in trajectory], record,
+        mad_factor=args.mad_factor, rel_floor=args.rel_floor)
+    print(perf.render_verdicts(verdicts))
+    if perf.has_regression(verdicts) and not args.report_only:
+        return 1
+    return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    from . import perf
+
+    try:
+        with open(args.record) as fh:
+            record = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"{args.record}: unreadable ({exc})", file=sys.stderr)
+        return 2
+    errors = perf.validate_bench_record(record)
+    if errors:
+        print(f"{args.record}: INVALID")
+        for err in errors:
+            print(f"  {err}")
+        return 2
+    trajectory = perf.load_trajectory(args.trajectory, exclude=args.record)
+    if not trajectory:
+        print(f"regression check: no trajectory in {args.trajectory!r} "
+              "(nothing to compare against)")
+        return 0
+    verdicts = perf.detect_regressions(
+        [rec for _, rec in trajectory], record,
+        mad_factor=args.mad_factor, rel_floor=args.rel_floor)
+    print(perf.render_verdicts(verdicts))
+    if perf.has_regression(verdicts) and not args.report_only:
+        return 1
+    return 0
+
+
+def _cmd_bench_validate(args: argparse.Namespace) -> int:
+    from . import perf
+
+    status = 0
+    for path in args.files:
+        try:
+            with open(path) as fh:
+                record = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: unreadable ({exc})")
+            status = 1
+            continue
+        errors = perf.validate_bench_record(record)
+        if errors:
+            status = 1
+            print(f"{path}: INVALID")
+            for err in errors:
+                print(f"  {err}")
+        else:
+            print(f"{path}: ok")
+    return status
+
+
+def _add_threshold_arguments(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trajectory", default="bench", metavar="DIR",
+                   help="directory holding the committed BENCH_*.json "
+                        "trajectory (default: bench)")
+    p.add_argument("--mad-factor", type=float, default=5.0,
+                   help="regression margin in MAD-derived sigmas (default 5)")
+    p.add_argument("--rel-floor", type=float, default=0.25,
+                   help="minimum relative margin when the history is flat "
+                        "(default 0.25 = 25%%)")
+    p.add_argument("--report-only", action="store_true",
+                   help="print verdicts but always exit 0 (CI advisory mode)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -108,6 +223,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("files", nargs="+", help="trace_event JSON files")
     p.add_argument("--max-errors", type=int, default=20)
     p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("bench",
+                       help="run the pinned host-performance suite and "
+                            "emit a BENCH record")
+    p.add_argument("--quick", action="store_true",
+                   help="reduced budgets + 3 repetitions (CI smoke)")
+    p.add_argument("--repeats", type=int, default=0, metavar="N",
+                   help="repetitions per case, median reported "
+                        "(default: 3 quick, 5 full)")
+    p.add_argument("--cases", nargs="*", metavar="NAME",
+                   help="run only these cases (default: whole suite)")
+    p.add_argument("--out", default="bench", metavar="DIR",
+                   help="directory for the BENCH_<timestamp>.json record "
+                        "(default: bench)")
+    p.add_argument("--no-write", action="store_true",
+                   help="measure and print, but write no record file")
+    p.add_argument("--check", action="store_true",
+                   help="after measuring, run the regression detector "
+                        "against the trajectory and exit non-zero on "
+                        "regression")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-case progress on stderr")
+    _add_threshold_arguments(p)
+    p.set_defaults(func=_cmd_bench, trajectory=None)
+
+    p = sub.add_parser("bench-check",
+                       help="compare an existing BENCH record against "
+                            "the committed trajectory")
+    p.add_argument("record", help="BENCH_*.json record to judge")
+    _add_threshold_arguments(p)
+    p.set_defaults(func=_cmd_bench_check)
+
+    p = sub.add_parser("bench-validate",
+                       help="structurally check BENCH record files")
+    p.add_argument("files", nargs="+", help="BENCH_*.json files")
+    p.set_defaults(func=_cmd_bench_validate)
 
     return parser
 

@@ -1,0 +1,563 @@
+"""Continuous-benchmark harness and noise-aware regression gate.
+
+The ROADMAP's "runs as fast as the hardware allows" is unenforceable
+without a measured baseline, so this module gives the repo the same
+discipline for *performance* that the golden-number pins give it for
+*correctness*:
+
+* a **pinned suite** of host-side benchmark cases (the paper examples
+  on the detailed simulator, a critical-section contention run, the
+  analytical model, raw coherence ping-pong, a fuzzer budget slice, and
+  a sweep-engine dispatch probe), each measured median-of-N;
+* a **schema-versioned record** (``BENCH_<timestamp>.json``: git sha,
+  host info, per-case wall time / KIPS / peak RSS) appended to a
+  committed trajectory directory, so every PR leaves a comparable data
+  point;
+* a **noise-aware regression detector** comparing a new record against
+  the trajectory with median + MAD thresholds (plus relative and
+  absolute noise floors, so a near-zero MAD from a short flat history
+  cannot produce false positives).
+
+``python -m repro.obs bench`` is the CLI entry point; see
+``docs/performance.md`` for the workflow.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: bump when the record layout changes incompatibly
+BENCH_SCHEMA = "repro-bench/1"
+
+#: consistency factor turning a MAD into a normal-equivalent sigma
+MAD_SIGMA = 1.4826
+
+#: elapsed times below this are treated as zero in rate divisions
+_MIN_WALL = 1e-9
+
+#: one benchmark case: a zero-argument callable returning the amount of
+#: simulated work done, as ``{"cycles": int, "instructions": int,
+#: "items": int}`` (zero where a dimension does not apply)
+CaseFn = Callable[[], Dict[str, int]]
+
+
+@dataclass
+class CaseSpec:
+    name: str
+    description: str
+    fn: CaseFn
+
+
+# ----------------------------------------------------------------------
+# The pinned suite
+# ----------------------------------------------------------------------
+
+def _work_from_results(results: Sequence[object]) -> Dict[str, int]:
+    """Sum cycles / retired instructions over ``RunResult`` objects."""
+    cycles = 0
+    instructions = 0
+    for result in results:
+        cycles += result.cycles  # type: ignore[attr-defined]
+        counters = result.stats.counters()  # type: ignore[attr-defined]
+        instructions += sum(v for k, v in counters.items()
+                            if k.endswith("/instructions_retired"))
+    return {"cycles": cycles, "instructions": instructions,
+            "items": len(results)}
+
+
+def _case_example(example: str) -> CaseFn:
+    """One paper example on the detailed simulator, SC and RC cells."""
+    def fn() -> Dict[str, int]:
+        from ..consistency import get_model
+        from ..system import run_workload
+        from .report import example_workload
+
+        wl = example_workload(example)
+        results = [
+            run_workload([wl.program], model=get_model(model),
+                         prefetch=True, speculation=True,
+                         initial_memory=wl.initial_memory,
+                         warm_lines=wl.warm_lines)
+            for model in ("SC", "RC")
+        ]
+        return _work_from_results(results)
+    return fn
+
+
+def _case_critical_section(iterations: int) -> CaseFn:
+    """Two CPUs contending on locks: the detailed-simulator hot path."""
+    def fn() -> Dict[str, int]:
+        from ..consistency import RC
+        from ..system import run_workload
+        from ..workloads import critical_section_workload
+
+        wl = critical_section_workload(num_cpus=2, iterations=iterations,
+                                       shared_counters=3, private=True)
+        result = run_workload(wl.programs, model=RC, prefetch=True,
+                              speculation=True,
+                              initial_memory=wl.initial_memory,
+                              max_cycles=2_000_000)
+        return _work_from_results([result])
+    return fn
+
+
+def _case_analytical(segments: int) -> CaseFn:
+    """The paper's analytical timing model over random segments."""
+    def fn() -> Dict[str, int]:
+        from ..consistency import SC
+        from ..core import AnalyticalTimingModel
+        from ..workloads import random_segment
+
+        engine = AnalyticalTimingModel()
+        cycles = 0
+        accesses = 0
+        for rng in range(segments):
+            segment = random_segment(length=60, sync_period=8, rng=rng)
+            cycles += engine.schedule(segment, SC, prefetch=True,
+                                      speculation=True).total_cycles
+            accesses += len(segment)
+        return {"cycles": cycles, "instructions": accesses,
+                "items": segments}
+    return fn
+
+
+def _case_memory_pingpong(stores: int) -> CaseFn:
+    """Raw coherence traffic: a line ping-ponging between two caches."""
+    def fn() -> Dict[str, int]:
+        from ..memory import AccessKind, AccessRequest
+        from ..sim import Simulator
+        from ..system.fabric import MemoryFabric
+
+        sim = Simulator()
+        fabric = MemoryFabric(sim, num_cpus=2)
+        done: List[int] = []
+        for i in range(stores):
+            req = AccessRequest(req_id=i + 1, kind=AccessKind.STORE,
+                                addr=0x40, value=i,
+                                callback=lambda r, v: done.append(r.req_id))
+            assert fabric.caches[i % 2].access(req)
+            sim.run(until=lambda i=i: len(done) > i, max_cycles=100_000,
+                    deadlock_check=False)
+        return {"cycles": sim.cycle, "instructions": 0, "items": stores}
+    return fn
+
+
+def _case_fuzz_slice(budget: int) -> CaseFn:
+    """A slice of the differential conformance fuzzer's per-PR budget."""
+    def fn() -> Dict[str, int]:
+        from ..sim.sweep import derive_seed
+        from ..verify import check_seed
+
+        runs = 0
+        for i in range(budget):
+            result = check_seed((i, derive_seed(0, i, "bench"), {}))
+            if not result.ok:  # pragma: no cover - would be a real bug
+                raise RuntimeError(
+                    f"fuzz slice found a divergence at seed {result.seed}; "
+                    "run python -m repro.verify")
+            runs += result.num_runs
+        return {"cycles": 0, "instructions": 0, "items": runs}
+    return fn
+
+
+def _sweep_probe_worker(x: int) -> int:
+    # deliberately tiny: the probe measures the sweep engine's own
+    # chunking/dispatch overhead, not the work inside the worker
+    acc = 0
+    for i in range(200):
+        acc = (acc * 1103515245 + x + i) & 0x7FFFFFFF
+    return acc
+
+
+def _case_sweep_probe(items: int, jobs: int) -> CaseFn:
+    """Sweep-engine throughput: dispatch overhead over trivial items."""
+    def fn() -> Dict[str, int]:
+        from ..sim.sweep import run_sweep
+
+        result = run_sweep(_sweep_probe_worker, list(range(items)),
+                           jobs=jobs, chunk_size=max(1, items // 8))
+        return {"cycles": 0, "instructions": 0, "items": len(result.results)}
+    return fn
+
+
+def default_suite(quick: bool = False) -> List[CaseSpec]:
+    """The pinned benchmark suite (``--quick`` scales budgets down)."""
+    return [
+        CaseSpec("example1_detailed",
+                 "paper Example 1, detailed simulator, SC+RC with both techniques",
+                 _case_example("example1")),
+        CaseSpec("example2_detailed",
+                 "paper Example 2, detailed simulator, SC+RC with both techniques",
+                 _case_example("example2")),
+        CaseSpec("critical_section_detailed",
+                 "2-CPU lock contention on the detailed simulator (RC, both techniques)",
+                 _case_critical_section(iterations=2 if quick else 4)),
+        CaseSpec("analytical_model",
+                 "analytical timing model over random access segments",
+                 _case_analytical(segments=10 if quick else 50)),
+        CaseSpec("memory_pingpong",
+                 "cache line ping-pong between two caches (coherence hot path)",
+                 _case_memory_pingpong(stores=20 if quick else 40)),
+        CaseSpec("fuzz_slice",
+                 "differential conformance fuzzer, a slice of the per-PR budget",
+                 _case_fuzz_slice(budget=2 if quick else 6)),
+        CaseSpec("sweep_probe",
+                 "parallel sweep engine dispatch overhead (2 worker processes)",
+                 _case_sweep_probe(items=64 if quick else 512, jobs=2)),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Measurement
+# ----------------------------------------------------------------------
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process, in KiB (0 if unknown)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - reported in bytes
+        rss //= 1024
+    return int(rss)
+
+
+def run_case(case: CaseSpec, repeats: int = 3) -> Dict[str, object]:
+    """Measure one case median-of-``repeats``; return its record entry."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    walls: List[float] = []
+    work: Dict[str, int] = {}
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        work = case.fn()
+        walls.append(time.perf_counter() - t0)
+    wall = statistics.median(walls)
+
+    def rate(amount: int) -> float:
+        return amount / wall if wall > _MIN_WALL else 0.0
+
+    return {
+        "description": case.description,
+        "wall_seconds": round(wall, 6),
+        "wall_all": [round(w, 6) for w in walls],
+        "sim_cycles": int(work.get("cycles", 0)),
+        "instructions": int(work.get("instructions", 0)),
+        "items": int(work.get("items", 0)),
+        "kips": round(rate(int(work.get("instructions", 0))) / 1e3, 3),
+        "cycles_per_second": round(rate(int(work.get("cycles", 0))), 1),
+        "items_per_second": round(rate(int(work.get("items", 0))), 3),
+        "peak_rss_kb": peak_rss_kb(),
+    }
+
+
+def _git_sha() -> Optional[str]:
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"],
+                             capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):  # pragma: no cover
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def _host_info() -> Dict[str, object]:
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count() or 0,
+    }
+
+
+def _utc_timestamp() -> str:
+    from datetime import datetime, timezone
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def run_suite(cases: Sequence[CaseSpec], repeats: int = 3,
+              quick: bool = False,
+              progress: Optional[Callable[[str], None]] = None,
+              ) -> Dict[str, object]:
+    """Run every case and assemble a schema-versioned BENCH record."""
+    case_records: Dict[str, object] = {}
+    for case in cases:
+        if progress is not None:
+            progress(case.name)
+        case_records[case.name] = run_case(case, repeats=repeats)
+    return {
+        "schema": BENCH_SCHEMA,
+        "created_utc": _utc_timestamp(),
+        "git_sha": _git_sha(),
+        "quick": quick,
+        "repeats": repeats,
+        "host": _host_info(),
+        "cases": case_records,
+    }
+
+
+def write_record(record: Dict[str, object], out_dir: str) -> str:
+    """Write ``BENCH_<timestamp>.json`` under ``out_dir``; return its path."""
+    os.makedirs(out_dir, exist_ok=True)
+    stamp = str(record["created_utc"]).replace("-", "").replace(":", "")
+    path = os.path.join(out_dir, f"BENCH_{stamp}.json")
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def render_record(record: Dict[str, object]) -> str:
+    """Aligned text summary of one record's cases."""
+    header = (f"{'case':<28} {'wall s':>9} {'KIPS':>9} "
+              f"{'cycles/s':>12} {'items/s':>9} {'RSS KiB':>9}")
+    lines = [header, "-" * len(header)]
+    cases: Dict[str, Dict[str, object]] = record["cases"]  # type: ignore[assignment]
+    for name in sorted(cases):
+        c = cases[name]
+        lines.append(f"{name:<28} {c['wall_seconds']:>9.4f} "
+                     f"{c['kips']:>9.1f} {c['cycles_per_second']:>12.0f} "
+                     f"{c['items_per_second']:>9.1f} {c['peak_rss_kb']:>9}")
+    meta = (f"schema={record['schema']} repeats={record['repeats']} "
+            f"quick={record['quick']} sha={record['git_sha'] or '?'}")
+    lines.append(meta)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Schema validation
+# ----------------------------------------------------------------------
+
+_CASE_FLOAT_KEYS = ("wall_seconds", "kips", "cycles_per_second",
+                    "items_per_second")
+_CASE_INT_KEYS = ("sim_cycles", "instructions", "items", "peak_rss_kb")
+
+
+def validate_bench_record(record: object) -> List[str]:
+    """Structural schema check; returns a list of problems (empty = ok)."""
+    errors: List[str] = []
+    if not isinstance(record, dict):
+        return [f"record must be an object, got {type(record).__name__}"]
+    if record.get("schema") != BENCH_SCHEMA:
+        errors.append(f"schema must be {BENCH_SCHEMA!r}, "
+                      f"got {record.get('schema')!r}")
+    for key, kind in (("created_utc", str), ("quick", bool),
+                      ("repeats", int), ("host", dict), ("cases", dict)):
+        if not isinstance(record.get(key), kind):
+            errors.append(f"{key} must be {kind.__name__}")
+    sha = record.get("git_sha")
+    if sha is not None and not isinstance(sha, str):
+        errors.append("git_sha must be a string or null")
+    cases = record.get("cases")
+    if not isinstance(cases, dict):
+        return errors
+    if not cases:
+        errors.append("cases must not be empty")
+    for name, case in sorted(cases.items()):
+        if not isinstance(case, dict):
+            errors.append(f"cases[{name!r}] must be an object")
+            continue
+        for key in _CASE_FLOAT_KEYS:
+            value = case.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                    or value < 0:
+                errors.append(f"cases[{name!r}].{key} must be a "
+                              f"non-negative number")
+        for key in _CASE_INT_KEYS:
+            value = case.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 0:
+                errors.append(f"cases[{name!r}].{key} must be a "
+                              f"non-negative integer")
+        wall_all = case.get("wall_all")
+        if (not isinstance(wall_all, list) or not wall_all
+                or not all(isinstance(w, (int, float))
+                           and not isinstance(w, bool) and w >= 0
+                           for w in wall_all)):
+            errors.append(f"cases[{name!r}].wall_all must be a non-empty "
+                          f"list of non-negative numbers")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Trajectory + regression detection
+# ----------------------------------------------------------------------
+
+def load_trajectory(directory: str,
+                    exclude: Optional[str] = None,
+                    ) -> List[Tuple[str, Dict[str, object]]]:
+    """Load every valid ``BENCH_*.json`` under ``directory``, oldest first.
+
+    Invalid or unreadable files are skipped (the trajectory must stay
+    usable even if a bad record lands in it).  ``exclude`` removes one
+    path — the record currently being checked — from its own baseline.
+    """
+    if not os.path.isdir(directory):
+        return []
+    out: List[Tuple[str, Dict[str, object]]] = []
+    exclude_real = os.path.realpath(exclude) if exclude else None
+    for name in sorted(os.listdir(directory)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        path = os.path.join(directory, name)
+        if exclude_real and os.path.realpath(path) == exclude_real:
+            continue
+        try:
+            with open(path) as fh:
+                record = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        if validate_bench_record(record):
+            continue
+        out.append((path, record))
+    return out
+
+
+@dataclass
+class CaseVerdict:
+    """The regression detector's judgement for one case."""
+
+    case: str
+    status: str  # "regression" | "improved" | "ok" | "new" | "missing"
+    new_wall: Optional[float] = None
+    best_wall: Optional[float] = None
+    baseline_median: Optional[float] = None
+    mad: Optional[float] = None
+    threshold: Optional[float] = None
+    samples: int = 0
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if (self.new_wall is None or self.baseline_median is None
+                or self.baseline_median < _MIN_WALL):
+            return None
+        return self.new_wall / self.baseline_median
+
+    def describe(self) -> str:
+        if self.status == "new":
+            return (f"{self.case}: NEW ({self.new_wall:.4f}s, "
+                    f"no trajectory baseline)")
+        if self.status == "missing":
+            return f"{self.case}: MISSING from the new record"
+        ratio = self.ratio
+        best = ""
+        if self.best_wall is not None and self.best_wall != self.new_wall:
+            best = f" (best {self.best_wall:.4f}s)"
+        detail = (f"{self.new_wall:.4f}s{best} vs median "
+                  f"{self.baseline_median:.4f}s "
+                  f"(n={self.samples}, mad {self.mad:.4f}, "
+                  f"threshold {self.threshold:.4f}s"
+                  + (f", {ratio:.2f}x" if ratio is not None else "") + ")")
+        return f"{self.case}: {self.status.upper()} {detail}"
+
+
+def detect_regressions(trajectory: Sequence[Dict[str, object]],
+                       record: Dict[str, object],
+                       mad_factor: float = 5.0,
+                       rel_floor: float = 0.25,
+                       abs_floor_seconds: float = 0.002,
+                       ) -> List[CaseVerdict]:
+    """Compare ``record`` against the trajectory, case by case.
+
+    A case regresses when its **best** repeat (``min(wall_all)``)
+    exceeds the trajectory median by more than
+    ``max(mad_factor * 1.4826 * MAD, rel_floor * median,
+    abs_floor_seconds)``.  Wall-time noise is strictly additive —
+    the OS can only make a run slower, never faster — so judging the
+    fastest of N repeats discards one-sided scheduler jitter that the
+    median still carries; a real slowdown moves every repeat, including
+    the best one.  The MAD term adapts to each case's own historical
+    noise; the relative and absolute floors keep a short or perfectly
+    flat history (MAD ~ 0) from flagging ordinary run-to-run jitter.
+    Symmetrically, a case whose median is faster than
+    ``median - margin`` is reported as improved.
+
+    Only trajectory records with the same ``quick`` flag as ``record``
+    are used: quick and full runs use different per-case budgets, so
+    their wall times are not comparable.
+    """
+    quick = record.get("quick")
+    trajectory = [past for past in trajectory if past.get("quick") == quick]
+    verdicts: List[CaseVerdict] = []
+    new_cases: Dict[str, Dict[str, object]] = record.get("cases", {})  # type: ignore[assignment]
+    for name, case in sorted(new_cases.items()):
+        new_wall = float(case["wall_seconds"])  # type: ignore[index]
+        wall_all = case.get("wall_all") or [new_wall]  # type: ignore[union-attr]
+        best_wall = min(float(w) for w in wall_all)  # type: ignore[union-attr]
+        history = [
+            float(past["cases"][name]["wall_seconds"])  # type: ignore[index]
+            for past in trajectory
+            if name in past.get("cases", {})  # type: ignore[union-attr]
+        ]
+        if not history:
+            verdicts.append(CaseVerdict(case=name, status="new",
+                                        new_wall=new_wall))
+            continue
+        baseline = statistics.median(history)
+        mad = statistics.median(abs(x - baseline) for x in history)
+        margin = max(mad_factor * MAD_SIGMA * mad,
+                     rel_floor * baseline,
+                     abs_floor_seconds)
+        threshold = baseline + margin
+        if best_wall > threshold:
+            status = "regression"
+        elif new_wall < baseline - margin:
+            status = "improved"
+        else:
+            status = "ok"
+        verdicts.append(CaseVerdict(
+            case=name, status=status, new_wall=new_wall,
+            best_wall=best_wall, baseline_median=baseline, mad=mad,
+            threshold=threshold, samples=len(history)))
+    known = {
+        name
+        for past in trajectory
+        for name in past.get("cases", {})  # type: ignore[union-attr]
+    }
+    for name in sorted(known - set(new_cases)):
+        verdicts.append(CaseVerdict(case=name, status="missing"))
+    return verdicts
+
+
+def has_regression(verdicts: Sequence[CaseVerdict]) -> bool:
+    return any(v.status == "regression" for v in verdicts)
+
+
+def render_verdicts(verdicts: Sequence[CaseVerdict]) -> str:
+    if not verdicts:
+        return "regression check: no cases to compare"
+    lines = [v.describe() for v in verdicts]
+    counts: Dict[str, int] = {}
+    for v in verdicts:
+        counts[v.status] = counts.get(v.status, 0) + 1
+    summary = ", ".join(f"{n} {status}" for status, n in sorted(counts.items()))
+    lines.append(f"regression check: {summary}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "CaseSpec",
+    "CaseVerdict",
+    "default_suite",
+    "detect_regressions",
+    "has_regression",
+    "load_trajectory",
+    "peak_rss_kb",
+    "render_record",
+    "render_verdicts",
+    "run_case",
+    "run_suite",
+    "validate_bench_record",
+    "write_record",
+]

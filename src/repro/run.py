@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 from typing import Dict, List, Optional
 
 from .consistency import get_model
@@ -81,6 +82,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--breakdown", action="store_true",
                         help="print the per-CPU cycle-cause breakdown "
                              "and technique-effectiveness counters")
+    parser.add_argument("--profile", action="store_true",
+                        help="host-side self-profiler: per-component "
+                             "wall-time shares, simulated cycles/sec and "
+                             "KIPS (also lands host/profile/* gauges in "
+                             "--stats/--stats-json)")
+    parser.add_argument("--progress", action="store_true",
+                        help="live heartbeat on stderr while the "
+                             "simulation runs (implies profiling)")
+    parser.add_argument("--progress-every", type=int, default=25_000,
+                        metavar="CYCLES",
+                        help="heartbeat interval in simulated cycles "
+                             "(default 25000)")
     parser.add_argument("--stats-json", metavar="FILE",
                         help="write the statistics snapshot as JSON")
     parser.add_argument("--perfetto", metavar="FILE",
@@ -132,6 +145,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             trace = JsonlTraceRecorder(args.trace_jsonl, max_events=limit)
         else:
             trace = TraceRecorder(max_events=limit)
+    profiler = None
+    if args.profile or args.progress:
+        from .sim.profiler import HostHeartbeat, HostProfiler
+
+        def heartbeat(hb: HostHeartbeat) -> None:
+            print(f"\r  {hb.describe()}", end="", file=sys.stderr,
+                  flush=True)
+
+        profiler = HostProfiler(
+            heartbeat=heartbeat if args.progress else None,
+            heartbeat_cycles=max(1, args.progress_every))
     result = run_workload(
         programs,
         model=model,
@@ -142,8 +166,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         warm_lines=warm_lines,
         max_cycles=args.max_cycles,
         trace=trace,
+        profile=profiler if profiler is not None else False,
     )
 
+    if args.progress:
+        print(file=sys.stderr)
     print(f"completed in {result.cycles} cycles "
           f"(model={args.model.upper()}, prefetch={args.prefetch}, "
           f"speculation={args.speculation})")
@@ -164,6 +191,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .obs.report import breakdown_table, effectiveness_table
         print(breakdown_table(result).render())
         print(effectiveness_table(result).render())
+    if args.profile and profiler is not None:
+        print(profiler.render(result.stats))
     if args.stats:
         from .sim.stats import format_stats_table
         print(format_stats_table(result.stats.snapshot(), title="statistics"))

@@ -10,12 +10,16 @@ from .errors import (
 )
 from .events import Event, EventQueue
 from .kernel import Component, Simulator
+from .profiler import HostHeartbeat, HostProfiler
 from .stats import Counter, Histogram, StatsRegistry, format_stats_table
 from .sweep import (
+    ProgressMeter,
     SweepError,
+    SweepProgress,
     SweepResult,
     WorkerStats,
     derive_seed,
+    format_duration,
     run_sweep,
     sweep_map,
 )
@@ -30,18 +34,23 @@ __all__ = [
     "Event",
     "EventQueue",
     "Histogram",
+    "HostHeartbeat",
+    "HostProfiler",
     "IsaError",
     "NullTraceRecorder",
+    "ProgressMeter",
     "ProtocolError",
     "SimulationError",
     "Simulator",
     "StatsRegistry",
     "SweepError",
+    "SweepProgress",
     "SweepResult",
     "TraceEvent",
     "TraceRecorder",
     "WorkerStats",
     "derive_seed",
+    "format_duration",
     "format_stats_table",
     "run_sweep",
     "sweep_map",

@@ -16,10 +16,12 @@ decision path, and the event queue breaks ties by scheduling order.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+import time
+from typing import Callable, List, Optional, Union
 
 from .errors import DeadlockError
 from .events import Event, EventCallback, EventQueue
+from .profiler import HostProfiler
 from .stats import StatsRegistry
 
 
@@ -48,12 +50,17 @@ class Component:
 class Simulator:
     """Owns the clock, the event queue, the components, and statistics."""
 
-    def __init__(self, stats: Optional[StatsRegistry] = None) -> None:
+    def __init__(self, stats: Optional[StatsRegistry] = None,
+                 profile: Union[bool, HostProfiler] = False) -> None:
         self.cycle = 0
         self.events = EventQueue()
         self.stats = stats if stats is not None else StatsRegistry()
         self._components: List[Component] = []
         self._trace_hooks: List[Callable[[int], None]] = []
+        self.profiler: Optional[HostProfiler] = None
+        if profile:
+            self.enable_profiling(
+                profile if isinstance(profile, HostProfiler) else None)
 
     # ------------------------------------------------------------------
     # Wiring
@@ -65,6 +72,23 @@ class Simulator:
     def add_trace_hook(self, hook: Callable[[int], None]) -> None:
         """Call ``hook(cycle)`` at the end of every cycle (for tracing)."""
         self._trace_hooks.append(hook)
+
+    def enable_profiling(
+        self, profiler: Optional[HostProfiler] = None,
+    ) -> HostProfiler:
+        """Switch this simulator to the host-profiled step path.
+
+        The profiler only reads the monotonic clock — simulated results
+        (cycles, stats, traces) are identical with profiling on or off;
+        the run merely gains ``host/profile/*`` gauges in the stats
+        registry.  Idempotent; returns the active profiler.
+        """
+        if self.profiler is None:
+            self.profiler = profiler if profiler is not None else HostProfiler()
+        # shadow the class method on the instance so the un-profiled
+        # step stays branch-free
+        self.step = self._step_profiled  # type: ignore[method-assign]
+        return self.profiler
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -95,6 +119,34 @@ class Simulator:
         for hook in self._trace_hooks:
             hook(self.cycle)
 
+    def _step_profiled(self) -> None:
+        """``step`` with per-phase / per-component wall-time attribution."""
+        prof = self.profiler
+        assert prof is not None
+        t0 = time.perf_counter_ns()
+        self.cycle += 1
+        self.events.run_due(self.cycle)
+        prev = time.perf_counter_ns()
+        prof.events_ns += prev - t0
+        component_ns = prof.component_ns
+        for component in self._components:
+            component.tick(self.cycle)
+            now = time.perf_counter_ns()
+            key = type(component).__name__
+            component_ns[key] = component_ns.get(key, 0) + (now - prev)
+            prev = now
+        for hook in self._trace_hooks:
+            hook(self.cycle)
+        end = time.perf_counter_ns()
+        prof.hooks_ns += end - prev
+        prof.wall_ns += end - t0
+        prof.ticks += 1
+        depth = len(self.events)
+        prof.queue_depth_sum += depth
+        if depth > prof.queue_depth_max:
+            prof.queue_depth_max = depth
+        prof.maybe_heartbeat(self.cycle, self.stats, depth)
+
     def run(
         self,
         until: Callable[[], bool],
@@ -117,6 +169,8 @@ class Simulator:
             ):
                 raise DeadlockError(self.cycle, "all components quiescent; " + self._diagnose())
             self.step()
+        if self.profiler is not None:
+            self.profiler.export(self.stats)
         return self.cycle
 
     def _diagnose(self) -> str:

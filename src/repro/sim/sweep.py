@@ -28,10 +28,12 @@ from __future__ import annotations
 
 import hashlib
 import os
+import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import (
+    IO,
     Any,
     Callable,
     Dict,
@@ -49,6 +51,16 @@ SweepWorker = Callable[[Any], Any]
 #: progress callback: (items_done, items_total) -> None, called in the
 #: parent process each time a chunk completes
 ProgressCallback = Callable[[int, int], None]
+
+#: elapsed times below this are treated as zero in every rate/ETA
+#: division (a chunk of trivial items can complete within clock
+#: resolution, and 1e-12 s elapsed must not report 10^12 items/s)
+MIN_ELAPSED_SECONDS = 1e-9
+
+#: smoothing factor for the telemetry rate EMA: high enough to follow a
+#: genuine speed change within a few chunks, low enough that one slow
+#: straggler chunk does not swing the ETA wildly
+EMA_ALPHA = 0.3
 
 
 def derive_seed(master_seed: int, index: int, stream: str = "") -> int:
@@ -88,6 +100,89 @@ class WorkerStats:
 
 
 @dataclass
+class SweepProgress:
+    """One live telemetry sample, emitted each time a chunk completes.
+
+    ``items_per_second`` is an EMA over per-chunk instantaneous rates
+    (not the run-average), so the derived ``eta_seconds`` tracks the
+    sweep's *current* speed; ``workers`` holds the live
+    :class:`WorkerStats` objects for per-worker utilization.
+    """
+
+    done: int
+    total: int
+    elapsed_seconds: float
+    items_per_second: float            # EMA-smoothed
+    eta_seconds: Optional[float]       # None until a rate is measurable
+    jobs: int
+    workers: Dict[str, WorkerStats]
+
+    @property
+    def fraction(self) -> float:
+        return self.done / self.total if self.total else 1.0
+
+    @property
+    def utilization(self) -> float:
+        """Aggregate busy fraction across the worker pool, in [0, 1]."""
+        if self.elapsed_seconds < MIN_ELAPSED_SECONDS or self.jobs < 1:
+            return 0.0
+        busy = sum(w.busy_seconds for w in self.workers.values())
+        return min(1.0, busy / (self.elapsed_seconds * self.jobs))
+
+    def describe(self) -> str:
+        pct = 100.0 * self.fraction
+        eta = format_duration(self.eta_seconds)
+        return (f"{self.done}/{self.total} ({pct:.0f}%) "
+                f"{self.items_per_second:.1f}/s eta {eta} "
+                f"util {self.utilization * 100:.0f}%")
+
+
+#: telemetry callback: one SweepProgress per completed chunk
+TelemetryCallback = Callable[[SweepProgress], None]
+
+
+def format_duration(seconds: Optional[float]) -> str:
+    """``None``-safe compact rendering for ETA displays (``1m23s``)."""
+    if seconds is None:
+        return "?"
+    seconds = max(0.0, seconds)
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ProgressMeter:
+    """Renders :class:`SweepProgress` samples as a single live line.
+
+    Usable directly as a ``telemetry=`` callback::
+
+        meter = ProgressMeter(label="verify")
+        run_sweep(worker, items, jobs=4, telemetry=meter)
+        meter.finish()
+    """
+
+    def __init__(self, label: str = "sweep",
+                 stream: Optional[IO[str]] = None) -> None:
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.last: Optional[SweepProgress] = None
+
+    def __call__(self, progress: SweepProgress) -> None:
+        self.last = progress
+        print(f"\r  {self.label}: {progress.describe()}",
+              end="", file=self.stream, flush=True)
+
+    def finish(self) -> None:
+        """Terminate the live line (call once after the sweep returns)."""
+        if self.last is not None:
+            print(file=self.stream)
+
+
+@dataclass
 class SweepResult:
     """Ordered results plus run-wide accounting."""
 
@@ -103,7 +198,7 @@ class SweepResult:
 
     @property
     def items_per_second(self) -> float:
-        if self.elapsed_seconds <= 0:
+        if self.elapsed_seconds < MIN_ELAPSED_SECONDS:
             return 0.0
         return len(self.results) / self.elapsed_seconds
 
@@ -161,14 +256,18 @@ def run_sweep(
     jobs: int = 1,
     chunk_size: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    telemetry: Optional[TelemetryCallback] = None,
     on_error: str = "raise",
 ) -> SweepResult:
     """Map ``worker`` over ``items``, optionally across processes.
 
     ``jobs <= 1`` (or a single item) runs serially in-process.
-    ``on_error`` is ``"raise"`` (default) or ``"record"`` (failing
-    items yield :class:`SweepError` result slots instead of aborting
-    the sweep).
+    ``progress`` receives plain ``(done, total)`` ticks; ``telemetry``
+    receives full :class:`SweepProgress` samples (EMA rate, ETA,
+    per-worker utilization) — both fire in the parent process each time
+    a chunk completes.  ``on_error`` is ``"raise"`` (default) or
+    ``"record"`` (failing items yield :class:`SweepError` result slots
+    instead of aborting the sweep).
     """
     if on_error not in ("raise", "record"):
         raise ConfigurationError(
@@ -187,6 +286,28 @@ def run_sweep(
     slots: List[Any] = [None] * total
     workers: Dict[str, WorkerStats] = {}
     done = 0
+    effective_jobs = 1 if (jobs == 1 or total <= 1) else jobs
+    ema_rate = 0.0
+    last_sample = (t0, 0)  # (wall time, items done) at the last sample
+
+    def emit_telemetry() -> None:
+        nonlocal ema_rate, last_sample
+        assert telemetry is not None
+        now = time.perf_counter()
+        last_t, last_done = last_sample
+        dt = now - last_t
+        if dt >= MIN_ELAPSED_SECONDS:
+            instantaneous = (done - last_done) / dt
+            ema_rate = (instantaneous if ema_rate <= 0.0
+                        else EMA_ALPHA * instantaneous
+                        + (1.0 - EMA_ALPHA) * ema_rate)
+            last_sample = (now, done)
+        eta = ((total - done) / ema_rate
+               if ema_rate >= MIN_ELAPSED_SECONDS else None)
+        telemetry(SweepProgress(
+            done=done, total=total, elapsed_seconds=now - t0,
+            items_per_second=ema_rate, eta_seconds=eta,
+            jobs=effective_jobs, workers=dict(workers)))
 
     def account(worker_id: str, busy: float, start: int, stop: int,
                 chunk_results: List[Any]) -> None:
@@ -199,6 +320,8 @@ def run_sweep(
         done += stop - start
         if progress is not None:
             progress(done, total)
+        if telemetry is not None:
+            emit_telemetry()
 
     if jobs == 1 or total <= 1:
         for start, stop in ranges:

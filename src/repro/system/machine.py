@@ -12,7 +12,7 @@ experiment pattern: build, warm, run, return a :class:`RunResult`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..consistency.models import ConsistencyModel, SC
 from ..cpu.config import ProcessorConfig
@@ -22,6 +22,7 @@ from ..memory.types import CacheConfig, LatencyConfig
 from ..obs.accounting import CycleBreakdown, machine_breakdown, per_cpu_breakdowns
 from ..sim.errors import ConfigurationError
 from ..sim.kernel import Simulator
+from ..sim.profiler import HostProfiler
 from ..sim.stats import StatsRegistry
 from ..sim.trace import NullTraceRecorder, TraceRecorder
 from .agent import ScriptedAgent
@@ -73,12 +74,13 @@ class Multiprocessor:
         config: Optional[MachineConfig] = None,
         trace: Optional[TraceRecorder] = None,
         extra_agents: int = 0,
+        profile: Union[bool, HostProfiler] = False,
     ) -> None:
         if not programs:
             raise ConfigurationError("need at least one program")
         self.config = config or MachineConfig()
         self.trace = trace or NullTraceRecorder()
-        self.sim = Simulator()
+        self.sim = Simulator(profile=profile)
         self.fabric = MemoryFabric(
             self.sim,
             num_cpus=len(programs),
@@ -138,8 +140,14 @@ def run_workload(
     trace: Optional[TraceRecorder] = None,
     max_cycles: int = 1_000_000,
     extra_agents: int = 0,
+    profile: Union[bool, HostProfiler] = False,
 ) -> RunResult:
-    """Build a machine, warm it, run it, and return the result."""
+    """Build a machine, warm it, run it, and return the result.
+
+    ``profile`` enables the kernel's host-side self-profiler (pass
+    ``True`` or a configured :class:`~repro.sim.profiler.HostProfiler`);
+    the run then carries ``host/profile/*`` gauges in its stats.
+    """
     config = MachineConfig(
         model=model,
         enable_prefetch=prefetch,
@@ -149,7 +157,7 @@ def run_workload(
         processor=processor or ProcessorConfig(),
     )
     machine = Multiprocessor(programs, config, trace=trace,
-                             extra_agents=extra_agents)
+                             extra_agents=extra_agents, profile=profile)
     if initial_memory:
         machine.init_memory(initial_memory)
     for cpu, addr, exclusive in warm_lines:

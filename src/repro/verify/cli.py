@@ -16,7 +16,7 @@ import argparse
 import sys
 from typing import Dict, List, Optional, Sequence
 
-from ..sim.sweep import SweepError, derive_seed, run_sweep
+from ..sim.sweep import ProgressMeter, SweepError, derive_seed, run_sweep
 from .corpus import (
     Corpus,
     CorpusEntry,
@@ -54,6 +54,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "(self-test: the fuzzer must catch it)")
     parser.add_argument("--no-minimize", action="store_true",
                         help="skip test-case minimization of failures")
+    parser.add_argument("--progress", action="store_true",
+                        help="live sweep telemetry on stderr: items done, "
+                             "EMA rate, ETA, worker utilization")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress progress output")
     return parser
@@ -77,8 +80,13 @@ def run_fuzz(budget: int, jobs: int, seed: int,
              corpus_path: Optional[str] = None,
              do_minimize: bool = True,
              quiet: bool = False,
+             telemetry: bool = False,
              generator: Optional[GeneratorConfig] = None) -> int:
-    """Fuzz ``budget`` seeds; returns the process exit status."""
+    """Fuzz ``budget`` seeds; returns the process exit status.
+
+    ``telemetry`` upgrades the plain ``checked n/total`` counter to the
+    live sweep meter (EMA rate, ETA, worker utilization).
+    """
     gen_config = generator if generator is not None else GeneratorConfig()
     options: Dict[str, object] = {"generator": gen_config.to_dict()}
     if fault is not None:
@@ -86,8 +94,12 @@ def run_fuzz(budget: int, jobs: int, seed: int,
     items = [(i, derive_seed(seed, i, "fuzz"), options)
              for i in range(budget)]
 
+    meter = ProgressMeter(label="verify") if telemetry and not quiet else None
     sweep = run_sweep(check_seed, items, jobs=jobs, chunk_size=chunk_size,
-                      progress=_progress_printer(quiet), on_error="record")
+                      progress=None if meter else _progress_printer(quiet),
+                      telemetry=meter, on_error="record")
+    if meter is not None:
+        meter.finish()
 
     failures: List[CheckResult] = []
     crashes: List[SweepError] = []
@@ -173,6 +185,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         corpus_path=args.corpus,
         do_minimize=not args.no_minimize,
         quiet=args.quiet,
+        telemetry=args.progress,
     )
 
 

@@ -1,0 +1,285 @@
+"""The continuous-benchmark harness and regression gate (`repro.obs.perf`).
+
+The regression detector is exercised on synthetic trajectories — a
+clean improvement, a genuine regression, and a noisy-but-flat series —
+because its whole value is *not* firing on ordinary run-to-run jitter
+while reliably catching real slowdowns.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import cli
+from repro.obs.perf import (
+    BENCH_SCHEMA,
+    CaseSpec,
+    default_suite,
+    detect_regressions,
+    has_regression,
+    load_trajectory,
+    peak_rss_kb,
+    render_record,
+    render_verdicts,
+    run_case,
+    run_suite,
+    validate_bench_record,
+    write_record,
+)
+
+
+def _fake_case(name, wall, **overrides):
+    case = {
+        "description": f"synthetic case {name}",
+        "wall_seconds": wall,
+        "wall_all": [wall],
+        "sim_cycles": 1000,
+        "instructions": 500,
+        "items": 1,
+        "kips": 1.0,
+        "cycles_per_second": 1000.0,
+        "items_per_second": 1.0,
+        "peak_rss_kb": 1024,
+    }
+    case.update(overrides)
+    return case
+
+
+def _fake_record(walls, **overrides):
+    """A schema-valid record with the given {case: wall_seconds}."""
+    record = {
+        "schema": BENCH_SCHEMA,
+        "created_utc": "2026-08-05T00:00:00Z",
+        "git_sha": "0" * 40,
+        "quick": True,
+        "repeats": 1,
+        "host": {"platform": "synthetic"},
+        "cases": {name: _fake_case(name, wall)
+                  for name, wall in walls.items()},
+    }
+    record.update(overrides)
+    return record
+
+
+class TestSchemaValidation:
+    def test_valid_record_passes(self):
+        assert validate_bench_record(_fake_record({"a": 1.0})) == []
+
+    def test_non_object_rejected(self):
+        assert validate_bench_record([1, 2]) != []
+
+    def test_wrong_schema_rejected(self):
+        rec = _fake_record({"a": 1.0}, schema="repro-bench/999")
+        assert any("schema" in e for e in validate_bench_record(rec))
+
+    def test_missing_case_fields_rejected(self):
+        rec = _fake_record({"a": 1.0})
+        del rec["cases"]["a"]["kips"]
+        del rec["cases"]["a"]["peak_rss_kb"]
+        errors = validate_bench_record(rec)
+        assert any("kips" in e for e in errors)
+        assert any("peak_rss_kb" in e for e in errors)
+
+    def test_negative_wall_rejected(self):
+        rec = _fake_record({"a": -0.5})
+        assert any("wall_seconds" in e for e in validate_bench_record(rec))
+
+    def test_empty_cases_rejected(self):
+        assert any("empty" in e
+                   for e in validate_bench_record(_fake_record({})))
+
+    def test_empty_wall_all_rejected(self):
+        rec = _fake_record({"a": 1.0})
+        rec["cases"]["a"]["wall_all"] = []
+        assert any("wall_all" in e for e in validate_bench_record(rec))
+
+
+class TestRegressionDetector:
+    def _trajectory(self, series):
+        return [_fake_record(walls) for walls in series]
+
+    def test_clean_improvement_not_flagged(self):
+        trajectory = self._trajectory([{"a": 1.0}, {"a": 1.02}, {"a": 0.98}])
+        verdicts = detect_regressions(trajectory, _fake_record({"a": 0.5}))
+        assert [v.status for v in verdicts] == ["improved"]
+        assert not has_regression(verdicts)
+
+    def test_genuine_3x_regression_flagged(self):
+        trajectory = self._trajectory([{"a": 1.0}, {"a": 1.05}, {"a": 0.95}])
+        verdicts = detect_regressions(trajectory, _fake_record({"a": 3.0}))
+        assert [v.status for v in verdicts] == ["regression"]
+        assert has_regression(verdicts)
+        assert verdicts[0].ratio == pytest.approx(3.0)
+
+    def test_noisy_but_flat_series_no_false_positive(self):
+        # a flat series with jitter; the new sample sits 1 MAD above the
+        # median — ordinary noise, must NOT be flagged
+        walls = [1.0, 1.1, 0.9, 1.05, 0.95, 1.08, 0.92]
+        trajectory = self._trajectory([{"a": w} for w in walls])
+        import statistics
+        median = statistics.median(walls)
+        mad = statistics.median(abs(w - median) for w in walls)
+        assert mad > 0  # the point of the test: real jitter in history
+        new = _fake_record({"a": median + mad})
+        verdicts = detect_regressions(trajectory, new)
+        assert [v.status for v in verdicts] == ["ok"]
+        assert not has_regression(verdicts)
+
+    def test_unchanged_rerun_passes_single_baseline(self):
+        # the seeded-trajectory scenario: one committed record, a rerun
+        # at the same speed (MAD is 0, so the relative floor governs)
+        trajectory = self._trajectory([{"a": 1.0}])
+        verdicts = detect_regressions(trajectory, _fake_record({"a": 1.01}))
+        assert [v.status for v in verdicts] == ["ok"]
+
+    def test_3x_regression_flagged_even_with_single_baseline(self):
+        trajectory = self._trajectory([{"a": 0.1}])
+        verdicts = detect_regressions(trajectory, _fake_record({"a": 0.3}))
+        assert has_regression(verdicts)
+
+    def test_tiny_absolute_times_respect_abs_floor(self):
+        # microsecond-scale cases live entirely inside scheduler noise;
+        # the absolute floor keeps them from ever flagging
+        trajectory = self._trajectory([{"a": 0.0001}])
+        verdicts = detect_regressions(trajectory, _fake_record({"a": 0.0015}))
+        assert [v.status for v in verdicts] == ["ok"]
+
+    def test_new_and_missing_cases_reported_not_failed(self):
+        trajectory = self._trajectory([{"old": 1.0}])
+        verdicts = detect_regressions(trajectory, _fake_record({"fresh": 1.0}))
+        statuses = {v.case: v.status for v in verdicts}
+        assert statuses == {"fresh": "new", "old": "missing"}
+        assert not has_regression(verdicts)
+
+    def test_regression_judged_by_best_repeat(self):
+        # wall noise is one-sided: a slow median with one clean repeat
+        # is scheduler jitter, not a regression — but when even the
+        # best repeat is over threshold, every repeat slowed down
+        trajectory = self._trajectory([{"a": 1.0}])
+        jittery = _fake_record({"a": 2.0})
+        jittery["cases"]["a"]["wall_all"] = [2.0, 2.1, 1.02]
+        verdicts = detect_regressions(trajectory, jittery)
+        assert [v.status for v in verdicts] == ["ok"]
+        assert "best 1.0200s" in verdicts[0].describe()
+
+        slow = _fake_record({"a": 2.0})
+        slow["cases"]["a"]["wall_all"] = [2.0, 2.1, 1.9]
+        assert has_regression(detect_regressions(trajectory, slow))
+
+    def test_quick_and_full_records_are_separate_baselines(self):
+        # quick/full budgets differ, so a full run must never be judged
+        # against quick wall times (and vice versa)
+        trajectory = [_fake_record({"a": 0.1}, quick=True)]
+        full = _fake_record({"a": 3.0}, quick=False)
+        verdicts = detect_regressions(trajectory, full)
+        assert [v.status for v in verdicts] == ["new"]
+        assert not has_regression(verdicts)
+
+    def test_render_verdicts_summarizes(self):
+        trajectory = self._trajectory([{"a": 1.0}])
+        text = render_verdicts(
+            detect_regressions(trajectory, _fake_record({"a": 5.0})))
+        assert "REGRESSION" in text
+        assert "regression check:" in text
+
+
+class TestHarness:
+    def test_run_case_median_of_n(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return {"cycles": 10, "instructions": 20, "items": 1}
+
+        entry = run_case(CaseSpec("c", "desc", fn), repeats=3)
+        assert len(calls) == 3
+        assert len(entry["wall_all"]) == 3
+        assert entry["wall_seconds"] >= 0
+        assert entry["sim_cycles"] == 10
+        assert entry["peak_rss_kb"] == peak_rss_kb()
+
+    def test_run_case_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            run_case(CaseSpec("c", "d", lambda: {}), repeats=0)
+
+    def test_run_suite_record_is_schema_valid(self, tmp_path):
+        # two real-but-cheap cases keep this a fast tier-1 test
+        suite = [case for case in default_suite(quick=True)
+                 if case.name in ("example1_detailed", "memory_pingpong")]
+        record = run_suite(suite, repeats=1, quick=True)
+        assert validate_bench_record(record) == []
+        assert record["cases"]["example1_detailed"]["kips"] > 0
+        assert "example1_detailed" in render_record(record)
+
+        path = write_record(record, str(tmp_path))
+        assert path.endswith(".json")
+        loaded = load_trajectory(str(tmp_path))
+        assert len(loaded) == 1
+        assert loaded[0][1]["cases"].keys() == record["cases"].keys()
+
+    def test_load_trajectory_skips_invalid_and_excluded(self, tmp_path):
+        good = write_record(_fake_record({"a": 1.0}), str(tmp_path))
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        (tmp_path / "BENCH_wrong.json").write_text(
+            json.dumps({"schema": "other"}))
+        (tmp_path / "notes.txt").write_text("ignored")
+        assert len(load_trajectory(str(tmp_path))) == 1
+        assert load_trajectory(str(tmp_path), exclude=good) == []
+        assert load_trajectory(str(tmp_path / "absent")) == []
+
+
+class TestBenchCli:
+    def test_bench_quick_writes_valid_record(self, tmp_path, capsys):
+        out = tmp_path / "bench"
+        status = cli.main(["bench", "--quick", "--repeats", "1",
+                           "--cases", "memory_pingpong",
+                           "--out", str(out), "--quiet"])
+        assert status == 0
+        files = list(out.glob("BENCH_*.json"))
+        assert len(files) == 1
+        record = json.loads(files[0].read_text())
+        assert validate_bench_record(record) == []
+        assert "bench record written" in capsys.readouterr().out
+
+    def test_bench_check_flags_injected_3x_slowdown(self, tmp_path, capsys):
+        write_record(_fake_record({"a": 1.0}), str(tmp_path))
+        slow = tmp_path / "new.json"
+        slow.write_text(json.dumps(_fake_record({"a": 3.0})))
+        status = cli.main(["bench-check", str(slow),
+                           "--trajectory", str(tmp_path)])
+        assert status == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_bench_check_passes_unchanged_rerun(self, tmp_path):
+        write_record(_fake_record({"a": 1.0}), str(tmp_path))
+        rerun = tmp_path / "rerun.json"
+        rerun.write_text(json.dumps(_fake_record({"a": 1.0})))
+        assert cli.main(["bench-check", str(rerun),
+                         "--trajectory", str(tmp_path)]) == 0
+
+    def test_bench_check_report_only_never_fails(self, tmp_path):
+        write_record(_fake_record({"a": 1.0}), str(tmp_path))
+        slow = tmp_path / "new.json"
+        slow.write_text(json.dumps(_fake_record({"a": 3.0})))
+        assert cli.main(["bench-check", str(slow), "--report-only",
+                         "--trajectory", str(tmp_path)]) == 0
+
+    def test_bench_check_rejects_invalid_record(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "nope"}))
+        assert cli.main(["bench-check", str(bad),
+                         "--trajectory", str(tmp_path)]) == 2
+
+    def test_bench_validate(self, tmp_path, capsys):
+        good = tmp_path / "BENCH_good.json"
+        good.write_text(json.dumps(_fake_record({"a": 1.0})))
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps({"schema": "nope"}))
+        assert cli.main(["bench-validate", str(good)]) == 0
+        assert cli.main(["bench-validate", str(good), str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "ok" in out and "INVALID" in out
+
+    def test_bench_unknown_case_rejected(self, capsys):
+        assert cli.main(["bench", "--cases", "no_such_case",
+                         "--no-write"]) == 2

@@ -1,12 +1,19 @@
 """The shared parallel sweep engine (`repro.sim.sweep`)."""
 
+import io
+
 import pytest
 
 from repro.sim.errors import ConfigurationError
 from repro.sim.sweep import (
+    ProgressMeter,
     SweepError,
+    SweepProgress,
+    SweepResult,
+    WorkerStats,
     default_chunk_size,
     derive_seed,
+    format_duration,
     run_sweep,
     sweep_map,
 )
@@ -113,6 +120,98 @@ class TestParallelSweep:
     def test_parallel_worker_stats_cover_all_items(self):
         res = run_sweep(square, list(range(12)), jobs=2, chunk_size=3)
         assert sum(w.items for w in res.workers.values()) == 12
+
+
+class TestRateGuards:
+    def _result(self, elapsed):
+        return SweepResult(results=[1, 2, 3], elapsed_seconds=elapsed,
+                           jobs=1, chunk_size=1)
+
+    def test_items_per_second_zero_elapsed(self):
+        assert self._result(0.0).items_per_second == 0.0
+
+    def test_items_per_second_negative_elapsed(self):
+        assert self._result(-1.0).items_per_second == 0.0
+
+    def test_items_per_second_near_zero_elapsed(self):
+        # sub-nanosecond elapsed must not report a 10^12/s rate
+        assert self._result(1e-12).items_per_second == 0.0
+
+    def test_items_per_second_normal(self):
+        assert self._result(1.5).items_per_second == pytest.approx(2.0)
+
+    def test_progress_eta_guards(self):
+        p = SweepProgress(done=0, total=10, elapsed_seconds=0.0,
+                          items_per_second=0.0, eta_seconds=None,
+                          jobs=0, workers={})
+        assert p.utilization == 0.0
+        assert p.fraction == 0.0
+        assert "eta ?" in p.describe()
+        empty = SweepProgress(done=0, total=0, elapsed_seconds=0.0,
+                              items_per_second=0.0, eta_seconds=None,
+                              jobs=1, workers={})
+        assert empty.fraction == 1.0
+
+    def test_utilization_clamped_to_one(self):
+        workers = {"w": WorkerStats(worker_id="w", busy_seconds=100.0)}
+        p = SweepProgress(done=5, total=10, elapsed_seconds=1.0,
+                          items_per_second=5.0, eta_seconds=1.0,
+                          jobs=2, workers=workers)
+        assert p.utilization == 1.0
+
+    def test_format_duration(self):
+        assert format_duration(None) == "?"
+        assert format_duration(-3.0) == "0s"
+        assert format_duration(42.4) == "42s"
+        assert format_duration(83) == "1m23s"
+        assert format_duration(3 * 3600 + 5 * 60) == "3h05m"
+
+
+class TestTelemetry:
+    def test_samples_cover_run_and_carry_eta(self):
+        samples = []
+        run_sweep(square, list(range(10)), jobs=1, chunk_size=3,
+                  telemetry=samples.append)
+        assert [s.done for s in samples] == [3, 6, 9, 10]
+        assert all(s.total == 10 for s in samples)
+        assert all(s.jobs == 1 for s in samples)
+        final = samples[-1]
+        assert final.items_per_second >= 0.0
+        assert final.eta_seconds is None or final.eta_seconds >= 0.0
+        assert 0.0 <= final.utilization <= 1.0
+        assert final.workers["serial"].items == 10
+
+    def test_telemetry_and_progress_both_fire(self):
+        ticks, samples = [], []
+        run_sweep(square, list(range(4)), jobs=1, chunk_size=2,
+                  progress=lambda d, t: ticks.append(d),
+                  telemetry=samples.append)
+        assert ticks == [2, 4]
+        assert [s.done for s in samples] == [2, 4]
+
+    def test_parallel_telemetry_reports_pool_jobs(self):
+        samples = []
+        run_sweep(square, list(range(8)), jobs=2, chunk_size=2,
+                  telemetry=samples.append)
+        assert samples[-1].done == 8
+        assert samples[-1].jobs == 2
+        assert sum(w.items for w in samples[-1].workers.values()) == 8
+
+    def test_progress_meter_renders_line(self):
+        stream = io.StringIO()
+        meter = ProgressMeter(label="demo", stream=stream)
+        run_sweep(square, list(range(6)), jobs=1, chunk_size=2,
+                  telemetry=meter)
+        meter.finish()
+        text = stream.getvalue()
+        assert "demo: 6/6 (100%)" in text
+        assert text.endswith("\n")
+        assert meter.last is not None and meter.last.done == 6
+
+    def test_progress_meter_finish_without_samples_is_silent(self):
+        stream = io.StringIO()
+        ProgressMeter(stream=stream).finish()
+        assert stream.getvalue() == ""
 
 
 class TestChunkSizing:
