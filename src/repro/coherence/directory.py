@@ -29,7 +29,7 @@ from typing import Deque, Dict, List, Optional, Set
 from ..memory.interconnect import Interconnect
 from ..memory.types import LatencyConfig
 from ..sim.errors import ProtocolError
-from ..sim.kernel import Simulator
+from ..sim.kernel import WAKE_NEVER, Component, Simulator
 from ..sim.trace import NullTraceRecorder, TraceRecorder
 from .messages import DIRECTORY_NODE, Message, MessageKind, NodeId
 
@@ -62,8 +62,10 @@ class Transaction:
     update_value: Optional[int] = None
 
 
-class DirectoryController:
+class DirectoryController(Component):
     """The home node: directory state plus backing memory."""
+
+    name = "directory"
 
     def __init__(
         self,
@@ -413,6 +415,10 @@ class DirectoryController:
     # ------------------------------------------------------------------
     def is_quiescent(self) -> bool:
         return not self._busy and not self._queues
+
+    def next_wake(self, cycle: int) -> int:
+        # purely event-driven: all latencies go through sim.schedule
+        return WAKE_NEVER
 
     def sharers_of(self, line_addr: int) -> Set[NodeId]:
         return set(self.entry(line_addr).sharers)

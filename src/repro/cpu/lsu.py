@@ -45,7 +45,7 @@ from ..consistency.access_class import PLAIN_LOAD, PLAIN_STORE
 from ..isa.instructions import Load, SoftwarePrefetch, Store
 from ..memory.cache import LockupFreeCache
 from ..memory.types import AccessKind, AccessRequest, SnoopKind
-from ..sim.kernel import Simulator
+from ..sim.kernel import WAKE_NEVER, Simulator
 from ..sim.trace import NullTraceRecorder, TraceRecorder
 from .config import ProcessorConfig
 from .rob import Operand, ReorderBuffer, RobEntry
@@ -222,6 +222,88 @@ class LoadStoreUnit:
             issued = self.prefetcher.tick(candidates)
             for op in ops[:issued]:
                 op.prefetch_issued = True
+
+    # ------------------------------------------------------------------
+    # Sleep support (kernel fast-forward)
+    # ------------------------------------------------------------------
+    def sleep_profile(self) -> Optional[Tuple[int, Tuple]]:
+        """Mirror of :meth:`tick` over frozen state, without side effects.
+
+        Returns ``None`` if the next tick would change state (must keep
+        ticking), else ``(wake, counters)`` where ``counters`` are the
+        stat counters an elided tick would increment once each.  Every
+        stall modelled here is broken only by an event (cache response)
+        or by another component's state change — both of which end the
+        fast-forward span — so the wake is :data:`~repro.sim.kernel.WAKE_NEVER`.
+
+        The cache port budget resets every cycle, so "no port free right
+        now" does not carry over: a would-issue access with any ports
+        configured forces a tick.
+        """
+        counters = []
+        # address unit: recomputes the effective address (and feeds the
+        # SC-violation detector) every cycle while occupied — never elide
+        if self.addr_unit is not None:
+            return None
+        # reservation station head (see _advance_rs)
+        if self.rs:
+            head = self.rs[0]
+            base = head.base.resolve(self.rob)
+            if base is not None:
+                uncached_load = (head.is_load
+                                 and self.cache.config.is_uncached(base + head.offset))
+                if (head.is_load and not head.is_sw_prefetch
+                        and (self.slb is None or uncached_load)
+                        and not self._may_perform_now(head)):
+                    counters.append(self.stat_rs_stalls)
+                else:
+                    return None  # head would advance into the address unit
+        ports_free = self.cache.config.ports > 0
+        # store buffer (see _issue_stores)
+        for idx, op in enumerate(self.store_buffer):
+            if op.state is not MemState.IN_SB:
+                continue
+            if not op.signalled:
+                break
+            value = op.data.resolve(self.rob) if op.data is not None else 0
+            if value is None:
+                break
+            blocked = any(
+                e.state is not MemState.PERFORMED
+                and self.model.delay_arc(e.klass, op.klass)
+                for e in self.store_buffer[:idx]
+            )
+            if blocked:
+                counters.append(self.stat_sb_stalls)
+                break
+            if ports_free:
+                return None  # store would issue
+            break
+        # ready loads (see _issue_loads / _try_forward)
+        for op in self.ready_loads:
+            match: Optional[MemOp] = None
+            for sb in self.store_buffer:
+                if sb.seq < op.seq and sb.addr == op.addr:
+                    match = sb
+            if match is not None:
+                if match.is_rmw:
+                    continue  # waits for the RMW's result
+                value = match.data.resolve(self.rob) if match.data is not None else 0
+                if value is None:
+                    continue  # store value unknown yet
+                return None  # load would forward
+            if ports_free:
+                return None  # load would issue to the cache
+            break
+        # speculative-load buffer retirement
+        if self.slb is not None and self.slb.head_retirable():
+            return None
+        # hardware prefetcher: any candidate means work next tick
+        if self.prefetcher is not None:
+            _, candidates = self._prefetch_candidates()
+            if candidates:
+                return None
+        return WAKE_NEVER, tuple(counters)
 
     # -- address unit ---------------------------------------------------
     def _drain_addr_unit(self, cycle: int) -> None:

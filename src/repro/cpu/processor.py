@@ -31,7 +31,7 @@ from ..isa.program import Program
 from ..isa.registers import RegisterFile
 from ..memory.cache import LockupFreeCache
 from ..obs.accounting import CycleAccountant
-from ..sim.kernel import Component, Simulator
+from ..sim.kernel import Component, Simulator, WAKE_NEVER
 from ..sim.trace import NullTraceRecorder, TraceRecorder
 from .branch import BranchPredictor
 from .config import ProcessorConfig
@@ -79,6 +79,7 @@ class Processor(Component):
         self._next_seq = 0
         self.fetch_halted = False   # a Halt has been fetched (maybe speculatively)
         self.finished = False       # the Halt has retired: program truly done
+        self._skip_counters: tuple = ()  # stashed by next_wake for skip_cycles
 
         s = sim.stats
         self.stat_retired = s.counter(f"{self.name}/instructions_retired")
@@ -113,6 +114,81 @@ class Processor(Component):
 
     def is_quiescent(self) -> bool:
         return self.finished and self.lsu.is_empty()
+
+    # ------------------------------------------------------------------
+    # Sleep protocol (kernel fast-forward)
+    # ------------------------------------------------------------------
+    def next_wake(self, cycle: int) -> int:
+        """Earliest future cycle this core's tick would change state.
+
+        A returned wake beyond ``cycle + 1`` promises every elided tick
+        is a pure stall whose only effects are the per-cycle counters
+        stashed here and replayed by :meth:`skip_cycles`.  Any doubt
+        resolves to ``cycle + 1`` (keep ticking) — under-sleeping is
+        always safe.
+        """
+        if self.finished:
+            profile = self.lsu.sleep_profile()
+            if profile is None:
+                return cycle + 1
+            wake, lsu_counters = profile
+            self._skip_counters = (
+                self.accountant.drained_counter(self.lsu.is_empty()),
+            ) + lsu_counters
+            return wake
+        # cheapest checks first: the LSU mirror is the expensive one and
+        # only worth computing once everything else is provably idle
+        if not self._retire_would_idle():
+            return cycle + 1
+        if not self._decode_would_idle():
+            return cycle + 1
+        if not self.branch_unit.would_idle():
+            return cycle + 1
+        alu_wake = self.alu_unit.next_wake(cycle)
+        if alu_wake <= cycle + 1:
+            return cycle + 1
+        profile = self.lsu.sleep_profile()
+        if profile is None:
+            return cycle + 1
+        lsu_wake, lsu_counters = profile
+        self._skip_counters = (
+            self.accountant.stall_counter(self.rob.head(), self.rob.full),
+        ) + lsu_counters
+        return min(lsu_wake, alu_wake)
+
+    def skip_cycles(self, skipped: int) -> None:
+        for counter in self._skip_counters:
+            counter.inc(skipped)
+
+    def _retire_would_idle(self) -> bool:
+        """Mirror of :meth:`_retire`: True when the next tick would
+        neither retire nor mutate anything (signalling a store head
+        counts as a mutation — it happens exactly once)."""
+        head = self.rob.head()
+        if head is None:
+            return True
+        instr = head.instr
+        if isinstance(instr, (Store, Rmw)) and not head.signalled:
+            return False
+        if instr.is_memory:
+            return not self.lsu.may_retire(head)
+        return not head.done
+
+    def _decode_would_idle(self) -> bool:
+        """Mirror of :meth:`_decode`: True when the next tick cannot
+        dispatch (and would not latch ``fetch_halted``)."""
+        if self.fetch_halted or self.rob.full:
+            return True
+        instr = self.program.at(self.pc)
+        if instr is None:
+            return False  # tick would set fetch_halted
+        if isinstance(instr, Alu):
+            return self.alu_unit.rs_full
+        if isinstance(instr, Branch):
+            return self.branch_unit.rs_full
+        if isinstance(instr, (Load, Store, Rmw, SoftwarePrefetch)):
+            return self.lsu.rs_full
+        return False  # Nop/Jump/Halt always dispatch
 
     # ------------------------------------------------------------------
     # Retirement

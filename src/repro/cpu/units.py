@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Callable, List
 
 from ..isa.instructions import Alu, Branch
+from ..sim.kernel import WAKE_NEVER
 from .rob import Operand, ReorderBuffer, RobEntry
 
 
@@ -96,6 +97,23 @@ class AluUnit:
     def is_empty(self) -> bool:
         return not self.rs and not self._executing
 
+    def next_wake(self, cycle: int) -> int:
+        """Earliest cycle a tick would change state (sleep support).
+
+        A free unit with a fully resolvable reservation-station entry
+        would issue next tick; otherwise the next change is the earliest
+        in-flight completion, and with nothing executing the unit is
+        purely waiting on operands (an external state change).
+        """
+        if self.alu_count > len(self._executing):
+            for rs_entry in self.rs:
+                if all(op.resolve(self.rob) is not None
+                       for op in rs_entry.operands):
+                    return cycle + 1
+        if self._executing:
+            return min(ex.finish_cycle for ex in self._executing)
+        return WAKE_NEVER
+
 
 class BranchUnit:
     """Resolves conditional branches one per cycle."""
@@ -130,3 +148,7 @@ class BranchUnit:
 
     def is_empty(self) -> bool:
         return not self.rs
+
+    def would_idle(self) -> bool:
+        """True when no buffered branch has a resolvable condition yet."""
+        return all(r.operands[0].resolve(self.rob) is None for r in self.rs)

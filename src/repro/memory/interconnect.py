@@ -13,13 +13,13 @@ from typing import Callable, Dict, Optional, Tuple
 
 from ..coherence.messages import Message, NodeId
 from ..sim.errors import ConfigurationError
-from ..sim.kernel import Simulator
+from ..sim.kernel import WAKE_NEVER, Component, Simulator
 
 #: maps a message to its transit latency in cycles
 LatencyFn = Callable[[Message], int]
 
 
-class Interconnect:
+class Interconnect(Component):
     """Latency-only network: no contention, but FIFO per channel.
 
     Contention modelling is intentionally out of scope — the paper's
@@ -71,6 +71,10 @@ class Interconnect:
 
     def is_quiescent(self) -> bool:
         return self._in_flight == 0
+
+    def next_wake(self, cycle: int) -> int:
+        # purely event-driven: deliveries go through the event queue
+        return WAKE_NEVER
 
 
 def constant_latency(cycles: int) -> LatencyFn:

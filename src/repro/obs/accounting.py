@@ -100,6 +100,21 @@ class CycleAccountant:
         self._counters[cause].inc()
 
     # ------------------------------------------------------------------
+    # Sleep support: the counters a frozen (zero-retirement) cycle would
+    # increment, without incrementing them.  Used by the processor's
+    # ``next_wake`` to pre-compute the effects replayed by
+    # ``skip_cycles``; classification with ``retired=0`` never touches
+    # ``_refilling``, so these lookups are side-effect free.
+    def stall_counter(self, head: Optional["RobEntry"], rob_full: bool):
+        """Counter :meth:`account` would bump for a no-retirement cycle."""
+        return self._counters[self._classify(0, head, rob_full)]
+
+    def drained_counter(self, lsu_empty: bool):
+        """Counter :meth:`account_drained` would bump."""
+        cause = StallCause.IDLE if lsu_empty else StallCause.WRITE
+        return self._counters[cause]
+
+    # ------------------------------------------------------------------
     def _classify(self, retired: int, head: Optional["RobEntry"],
                   rob_full: bool) -> StallCause:
         if retired > 0:

@@ -9,7 +9,7 @@ from .errors import (
     SimulationError,
 )
 from .events import Event, EventQueue
-from .kernel import Component, Simulator
+from .kernel import WAKE_NEVER, Component, Simulator
 from .profiler import HostHeartbeat, HostProfiler
 from .stats import Counter, Histogram, StatsRegistry, format_stats_table
 from .sweep import (
@@ -48,6 +48,7 @@ __all__ = [
     "SweepResult",
     "TraceEvent",
     "TraceRecorder",
+    "WAKE_NEVER",
     "WorkerStats",
     "derive_seed",
     "format_duration",

@@ -6,6 +6,11 @@ but message deliveries and memory responses are naturally modelled as
 heap keyed on ``(cycle, sequence)`` so that events scheduled for the same
 cycle fire in the order they were scheduled — this keeps simulations
 fully deterministic.
+
+The queue also maintains a live count of non-cancelled events (so
+``len()`` is O(1) — the profiler samples it every cycle) and a pop
+horizon: once events due at cycle *c* have been drained, scheduling a
+new event before *c* is an error rather than a silently late firing.
 """
 
 from __future__ import annotations
@@ -26,18 +31,23 @@ class Event:
     cancelled; a cancelled event is skipped when its cycle arrives.
     """
 
-    __slots__ = ("cycle", "seq", "callback", "cancelled", "label")
+    __slots__ = ("cycle", "seq", "callback", "cancelled", "label", "_queue")
 
-    def __init__(self, cycle: int, seq: int, callback: EventCallback, label: str) -> None:
+    def __init__(self, cycle: int, seq: int, callback: EventCallback, label: str,
+                 queue: Optional["EventQueue"] = None) -> None:
         self.cycle = cycle
         self.seq = seq
         self.callback = callback
         self.cancelled = False
         self.label = label
+        self._queue = queue
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._queue is not None:
+                self._queue._live -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"
@@ -50,20 +60,28 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: List[Tuple[int, int, Event]] = []
         self._counter = itertools.count()
+        self._live = 0           # non-cancelled events still in the heap
+        self._popped_through = -1  # latest cycle handed to pop_due
 
     def __len__(self) -> int:
-        return sum(1 for _, _, ev in self._heap if not ev.cancelled)
+        return self._live
 
     def schedule(self, cycle: int, callback: EventCallback, label: str = "") -> Event:
         """Schedule ``callback`` to run at ``cycle``.
 
-        ``cycle`` must not be in the past relative to events already
-        popped; the kernel enforces monotonicity at pop time.
+        ``cycle`` must not be in the past: once :meth:`pop_due` has
+        drained events due at some cycle, scheduling before that cycle
+        raises (a past event would otherwise fire silently late).
         """
         if cycle < 0:
             raise ConfigurationError(f"cannot schedule event at negative cycle {cycle}")
-        ev = Event(cycle, next(self._counter), callback, label)
+        if cycle < self._popped_through:
+            raise ConfigurationError(
+                f"cannot schedule event at cycle {cycle}: events due at or "
+                f"before cycle {self._popped_through} have already fired")
+        ev = Event(cycle, next(self._counter), callback, label, queue=self)
         heapq.heappush(self._heap, (cycle, ev.seq, ev))
+        self._live += 1
         return ev
 
     def next_cycle(self) -> Optional[int]:
@@ -76,10 +94,13 @@ class EventQueue:
 
     def pop_due(self, cycle: int) -> List[Event]:
         """Remove and return all non-cancelled events due at or before ``cycle``."""
+        if cycle > self._popped_through:
+            self._popped_through = cycle
         due: List[Event] = []
         while self._heap and self._heap[0][0] <= cycle:
             _, _, ev = heapq.heappop(self._heap)
             if not ev.cancelled:
+                self._live -= 1
                 due.append(ev)
         return due
 

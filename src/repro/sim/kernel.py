@@ -1,4 +1,4 @@
-"""Cycle-driven simulation kernel with an auxiliary event queue.
+"""Hybrid cycle/event simulation kernel.
 
 The kernel advances a global clock one cycle at a time.  Each cycle:
 
@@ -9,6 +9,19 @@ The kernel advances a global clock one cycle at a time.  Each cycle:
 Components that model pipeline stages are registered in *reverse
 dataflow order* (retire before fetch) by the processor, which gives the
 usual one-cycle-per-stage timing without double-counting.
+
+Idle-cycle fast-forward: components may additionally implement a
+wake/sleep protocol (:meth:`Component.next_wake` /
+:meth:`Component.skip_cycles`).  When every component promises that its
+next ``tick`` would be a no-op until some future cycle, and the event
+queue's next event is also in the future, ``run()`` jumps the clock
+directly to the earliest of those instead of single-stepping through
+the idle span.  Because nothing fires and nothing ticks in the skipped
+span, simulation state is literally frozen across it — a component
+whose idle ticks have deterministic side effects (per-cycle stall
+counters) declares them via ``skip_cycles`` so results stay
+bit-identical to the naive path.  The per-cycle deadlock scan collapses
+into the same check: a frozen span cannot un-deadlock itself.
 
 Determinism: no wall-clock time, no unordered dict/set iteration in any
 decision path, and the event queue breaks ties by scheduling order.
@@ -23,6 +36,11 @@ from .errors import DeadlockError
 from .events import Event, EventCallback, EventQueue
 from .profiler import HostProfiler
 from .stats import StatsRegistry
+
+#: Sentinel wake cycle meaning "no tick needed until an event arrives".
+#: Purely event-driven components (caches, directory, interconnect)
+#: return this from :meth:`Component.next_wake`.
+WAKE_NEVER = 1 << 62
 
 
 class Component:
@@ -46,15 +64,41 @@ class Component:
         """
         return True
 
+    def next_wake(self, cycle: int) -> int:
+        """Earliest future cycle at which this component needs a tick.
+
+        Called at cycle ``cycle`` *after* the component has ticked.  A
+        return value of ``cycle + 1`` (the default) means "tick me every
+        cycle" and disables fast-forward; :data:`WAKE_NEVER` means "only
+        an event can change my state".  The contract: for every cycle
+        ``c`` with ``cycle < c < next_wake``, ``tick(c)`` would leave
+        all simulation state unchanged *except* for the deterministic
+        per-cycle effects the component replays in :meth:`skip_cycles`.
+        Returning too-early wakes is always safe; too-late wakes break
+        bit-identity.
+        """
+        return cycle + 1
+
+    def skip_cycles(self, skipped: int) -> None:
+        """Bulk-apply the per-cycle effects of ``skipped`` elided ticks.
+
+        Invoked by the kernel immediately after a fast-forward jump, in
+        registration order, once per component.  The default is a no-op;
+        components whose idle ticks increment stall/idle counters apply
+        ``skipped`` increments here.
+        """
+
 
 class Simulator:
     """Owns the clock, the event queue, the components, and statistics."""
 
     def __init__(self, stats: Optional[StatsRegistry] = None,
-                 profile: Union[bool, HostProfiler] = False) -> None:
+                 profile: Union[bool, HostProfiler] = False,
+                 fast_forward: bool = True) -> None:
         self.cycle = 0
         self.events = EventQueue()
         self.stats = stats if stats is not None else StatsRegistry()
+        self.fast_forward = fast_forward
         self._components: List[Component] = []
         self._trace_hooks: List[Callable[[int], None]] = []
         self.profiler: Optional[HostProfiler] = None
@@ -70,7 +114,11 @@ class Simulator:
         self._components.append(component)
 
     def add_trace_hook(self, hook: Callable[[int], None]) -> None:
-        """Call ``hook(cycle)`` at the end of every cycle (for tracing)."""
+        """Call ``hook(cycle)`` at the end of every cycle (for tracing).
+
+        Trace hooks observe *every* cycle, so adding one disables
+        idle-cycle fast-forward for the run.
+        """
         self._trace_hooks.append(hook)
 
     def enable_profiling(
@@ -147,6 +195,37 @@ class Simulator:
             prof.queue_depth_max = depth
         prof.maybe_heartbeat(self.cycle, self.stats, depth)
 
+    def _maybe_fast_forward(self, next_event: Optional[int], max_cycles: int) -> int:
+        """Jump the clock past an idle span; return the cycles elided.
+
+        Only jumps when the next event *and* every component wake lie
+        beyond the next cycle.  The jump lands one cycle short of the
+        earliest wake/event so the following ``step()`` processes that
+        cycle normally; the target is clamped to ``max_cycles`` so a
+        runaway-cycle :class:`DeadlockError` raises at the identical
+        cycle it would on the naive path.
+        """
+        cycle = self.cycle
+        floor = cycle + 1
+        target = next_event if next_event is not None else WAKE_NEVER
+        if target <= floor:
+            return 0
+        for component in self._components:
+            wake = component.next_wake(cycle)
+            if wake <= floor:
+                return 0
+            if wake < target:
+                target = wake
+        if target > max_cycles:
+            target = max_cycles
+        skipped = target - floor
+        if skipped <= 0:
+            return 0
+        for component in self._components:
+            component.skip_cycles(skipped)
+        self.cycle = target - 1
+        return skipped
+
     def run(
         self,
         until: Callable[[], bool],
@@ -158,19 +237,41 @@ class Simulator:
         Raises :class:`DeadlockError` if ``max_cycles`` elapse first, or
         earlier if every component is quiescent with an empty event queue
         while ``until()`` remains false.
+
+        ``until`` must be a function of simulation *state* (finished
+        flags, queue emptiness), not of ``self.cycle``: with fast-forward
+        enabled intermediate idle cycles are never observed.
         """
-        while not until():
-            if self.cycle >= max_cycles:
-                raise DeadlockError(self.cycle, self._diagnose())
-            if (
-                deadlock_check
-                and self.events.next_cycle() is None
-                and all(c.is_quiescent() for c in self._components)
-            ):
-                raise DeadlockError(self.cycle, "all components quiescent; " + self._diagnose())
-            self.step()
-        if self.profiler is not None:
-            self.profiler.export(self.stats)
+        fast = self.fast_forward and not self._trace_hooks
+        prof = self.profiler
+        try:
+            while not until():
+                if self.cycle >= max_cycles:
+                    raise DeadlockError(self.cycle, self._diagnose())
+                next_event = self.events.next_cycle()
+                if (
+                    deadlock_check
+                    and next_event is None
+                    and all(c.is_quiescent() for c in self._components)
+                ):
+                    raise DeadlockError(
+                        self.cycle, "all components quiescent; " + self._diagnose())
+                if fast and (next_event is None or next_event > self.cycle + 1):
+                    if prof is not None:
+                        t0 = time.perf_counter_ns()
+                        skipped = self._maybe_fast_forward(next_event, max_cycles)
+                        prof.ff_ns += time.perf_counter_ns() - t0
+                        if skipped:
+                            prof.ff_spans += 1
+                            prof.ff_cycles += skipped
+                    else:
+                        self._maybe_fast_forward(next_event, max_cycles)
+                self.step()
+        finally:
+            # export even on DeadlockError — the profile is most useful
+            # exactly when a run wedges
+            if prof is not None:
+                prof.export(self.stats)
         return self.cycle
 
     def _diagnose(self) -> str:

@@ -76,6 +76,9 @@ class HostProfiler:
         self.hooks_ns = 0       # trace-hook phase
         self.wall_ns = 0        # total time inside profiled steps
         self.ticks = 0          # cycles stepped while profiling
+        self.ff_spans = 0       # fast-forward jumps taken
+        self.ff_cycles = 0      # cycles elided by fast-forward
+        self.ff_ns = 0          # wall time inside wake/sleep analysis
         self.queue_depth_sum = 0
         self.queue_depth_max = 0
         self.heartbeat = heartbeat
@@ -90,7 +93,12 @@ class HostProfiler:
     # ------------------------------------------------------------------
     @property
     def wall_seconds(self) -> float:
-        return self.wall_ns / 1e9
+        return (self.wall_ns + self.ff_ns) / 1e9
+
+    @property
+    def sim_cycles(self) -> int:
+        """Simulated cycles covered: stepped ticks plus elided cycles."""
+        return self.ticks + self.ff_cycles
 
     @property
     def tick_ns_total(self) -> int:
@@ -110,9 +118,10 @@ class HostProfiler:
                 for name, ns in sorted(self.component_ns.items())}
 
     def cycles_per_second(self) -> float:
-        if self.wall_ns <= 0:
+        total_ns = self.wall_ns + self.ff_ns
+        if total_ns <= 0:
             return 0.0
-        return self.ticks / (self.wall_ns / 1e9)
+        return self.sim_cycles / (total_ns / 1e9)
 
     def mean_queue_depth(self) -> float:
         return self.queue_depth_sum / self.ticks if self.ticks else 0.0
@@ -155,24 +164,31 @@ class HostProfiler:
         def put(name: str, value: int) -> None:
             stats.counter(HOST_PREFIX + name).value = int(value)
 
-        put("cycles", self.ticks)
-        put("wall_ns", self.wall_ns)
+        put("cycles", self.sim_cycles)
+        put("ticks", self.ticks)
+        put("wall_ns", self.wall_ns + self.ff_ns)
         put("events_ns", self.events_ns)
         put("hooks_ns", self.hooks_ns)
+        put("fastforward/spans", self.ff_spans)
+        put("fastforward/cycles", self.ff_cycles)
+        put("fastforward/ns", self.ff_ns)
         for name, ns in sorted(self.component_ns.items()):
             put(f"tick_ns/{name}", ns)
         put("queue_depth/max", self.queue_depth_max)
         put("queue_depth/milli_mean", round(self.mean_queue_depth() * 1000))
         put("cycles_per_sec", round(self.cycles_per_second()))
         retired = _retired_instructions(stats)
-        wall_s = self.wall_ns / 1e9
+        wall_s = self.wall_seconds
         ips = retired / wall_s if wall_s > 1e-9 else 0.0
         put("instructions_per_sec", round(ips))
 
     def summary(self, stats: Optional[StatsRegistry] = None) -> Dict[str, object]:
         """A JSON-friendly digest (rates, phases, per-class shares)."""
         out: Dict[str, object] = {
-            "cycles": self.ticks,
+            "cycles": self.sim_cycles,
+            "ticks": self.ticks,
+            "fastforward_spans": self.ff_spans,
+            "fastforward_cycles": self.ff_cycles,
             "wall_seconds": round(self.wall_seconds, 6),
             "cycles_per_second": round(self.cycles_per_second(), 1),
             "event_queue_depth_max": self.queue_depth_max,
@@ -182,7 +198,7 @@ class HostProfiler:
         }
         if stats is not None:
             retired = _retired_instructions(stats)
-            wall_s = self.wall_ns / 1e9
+            wall_s = self.wall_seconds
             out["instructions_retired"] = retired
             out["kips"] = round(retired / wall_s / 1e3, 3) if wall_s > 1e-9 else 0.0
         out["component_share"] = {

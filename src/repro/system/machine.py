@@ -75,12 +75,13 @@ class Multiprocessor:
         trace: Optional[TraceRecorder] = None,
         extra_agents: int = 0,
         profile: Union[bool, HostProfiler] = False,
+        fast_forward: bool = True,
     ) -> None:
         if not programs:
             raise ConfigurationError("need at least one program")
         self.config = config or MachineConfig()
         self.trace = trace or NullTraceRecorder()
-        self.sim = Simulator(profile=profile)
+        self.sim = Simulator(profile=profile, fast_forward=fast_forward)
         self.fabric = MemoryFabric(
             self.sim,
             num_cpus=len(programs),
@@ -141,12 +142,17 @@ def run_workload(
     max_cycles: int = 1_000_000,
     extra_agents: int = 0,
     profile: Union[bool, HostProfiler] = False,
+    fast_forward: bool = True,
 ) -> RunResult:
     """Build a machine, warm it, run it, and return the result.
 
     ``profile`` enables the kernel's host-side self-profiler (pass
     ``True`` or a configured :class:`~repro.sim.profiler.HostProfiler`);
     the run then carries ``host/profile/*`` gauges in its stats.
+
+    ``fast_forward=False`` forces the kernel onto the naive
+    step-every-cycle path (results are bit-identical either way; the
+    differential kernel test pins this).
     """
     config = MachineConfig(
         model=model,
@@ -157,7 +163,8 @@ def run_workload(
         processor=processor or ProcessorConfig(),
     )
     machine = Multiprocessor(programs, config, trace=trace,
-                             extra_agents=extra_agents, profile=profile)
+                             extra_agents=extra_agents, profile=profile,
+                             fast_forward=fast_forward)
     if initial_memory:
         machine.init_memory(initial_memory)
     for cpu, addr, exclusive in warm_lines:

@@ -87,6 +87,35 @@ class TestEventQueue:
         ev.cancel()
         assert q.next_cycle() == 4
 
+    def test_schedule_before_pop_horizon_rejected(self):
+        q = EventQueue()
+        q.schedule(5, lambda: None)
+        q.run_due(5)
+        with pytest.raises(ConfigurationError):
+            q.schedule(4, lambda: None)
+
+    def test_schedule_at_pop_horizon_allowed(self):
+        # same-cycle scheduling during a sweep is legal (zero-latency
+        # responses) and the new event still fires
+        q = EventQueue()
+        fired = []
+        q.schedule(3, lambda: q.schedule(3, lambda: fired.append("chained")))
+        q.run_due(3)
+        assert fired == ["chained"]
+        assert q.schedule(3, lambda: None).cycle == 3
+
+    def test_len_is_live_count_across_pops_and_cancels(self):
+        q = EventQueue()
+        evs = [q.schedule(c, lambda: None) for c in (1, 2, 3, 4)]
+        assert len(q) == 4
+        evs[1].cancel()
+        evs[1].cancel()  # idempotent: must not double-decrement
+        assert len(q) == 3
+        q.run_due(2)     # pops ev@1 and the cancelled ev@2
+        assert len(q) == 2
+        q.run_due(10)
+        assert len(q) == 0
+
 
 class TestSimulator:
     def test_step_advances_clock_and_ticks_components(self):
