@@ -1,0 +1,120 @@
+"""``python -m repro.analysis.axiomatic`` — declarative-oracle CLI.
+
+Typical runs::
+
+    # named suite, all four paper models, axiomatic vs enumerator
+    python -m repro.analysis.axiomatic --all-models
+
+    # one test under one model, with the axioms and a witness per
+    # admitted outcome
+    python -m repro.analysis.axiomatic SB --model RC --verbose
+
+    # add a seeded fuzz slice on top of the named suite
+    python -m repro.analysis.axiomatic --fuzz 100 --seed 1
+
+Exit status is 0 when every axiomatic outcome set exactly equals the
+interleaving enumerator's, 1 on any disagreement.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from ...consistency.litmus import STANDARD_TESTS, LitmusTest
+from ...consistency.models import ALL_MODELS, ConsistencyModel, get_model
+from .axioms import render_axiom_table
+from .checker import accepting_witness, compare_with_enumerator
+from .relations import build_events, event_table
+
+
+def _resolve_tests(names: Sequence[str]) -> List[LitmusTest]:
+    if not names:
+        return [factory() for factory in STANDARD_TESTS.values()]
+    tests = []
+    for name in names:
+        if name not in STANDARD_TESTS:
+            raise SystemExit(
+                f"unknown litmus test {name!r}; available: "
+                f"{', '.join(sorted(STANDARD_TESTS))}")
+        tests.append(STANDARD_TESTS[name]())
+    return tests
+
+
+def _verbose_report(test: LitmusTest, model: ConsistencyModel) -> str:
+    """Events plus one accepted witness per admitted outcome."""
+    events = build_events(test)
+    lines = [f"{test.name} under {model.name}:", event_table(events)]
+    comparison = compare_with_enumerator(test, model)
+    for outcome in sorted(comparison.axiomatic):
+        witness = accepting_witness(test, model, outcome)
+        if witness is not None:
+            lines.append("  admitted " + witness.describe(events))
+    for outcome in sorted(comparison.enumerated - comparison.axiomatic):
+        out = ", ".join(f"{r}={v}" for r, v in outcome)
+        lines.append(f"  MISSING ({out}) — enumerator permits, axioms reject")
+    for outcome in sorted(comparison.axiomatic - comparison.enumerated):
+        out = ", ".join(f"{r}={v}" for r, v in outcome)
+        lines.append(f"  EXTRA ({out}) — axioms admit, enumerator never reaches")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.axiomatic",
+        description="Axiomatic (herd-style) checker: declarative outcome "
+                    "sets cross-validated against the interleaving "
+                    "enumerator.")
+    parser.add_argument("tests", nargs="*",
+                        help="named litmus tests (default: the whole "
+                             "standard suite)")
+    parser.add_argument("--model", action="append", default=[],
+                        metavar="NAME",
+                        help="consistency model (repeatable; default: the "
+                             "paper's SC PC WC RC)")
+    parser.add_argument("--all-models", action="store_true",
+                        help="check under SC, PC, WC, and RC")
+    parser.add_argument("--fuzz", type=int, default=0, metavar="N",
+                        help="also crosscheck N seeded random litmus tests")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master seed for --fuzz (default 0)")
+    parser.add_argument("--axioms", action="store_true",
+                        help="print each model's axiom set and exit")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print events and an accepted witness per "
+                             "admitted outcome")
+    args = parser.parse_args(argv)
+
+    models = ([get_model(n) for n in args.model]
+              if args.model and not args.all_models else list(ALL_MODELS))
+    if args.axioms:
+        print(render_axiom_table(models))
+        return 0
+
+    tests = _resolve_tests(args.tests)
+    if args.fuzz:
+        from ...sim.sweep import derive_seed
+        from ...verify.generator import generate_litmus
+        tests += [generate_litmus(derive_seed(args.seed, i, "fuzz"))
+                  for i in range(args.fuzz)]
+
+    print(render_axiom_table(models))
+    print()
+    print("axiomatic vs interleaving enumerator "
+          "(outcome sets must be identical):")
+    failures = 0
+    for test in tests:
+        for model in models:
+            comparison = compare_with_enumerator(test, model)
+            print("  " + comparison.describe())
+            if not comparison.agree:
+                failures += 1
+            if args.verbose:
+                print(_verbose_report(test, model))
+    if failures:
+        print(f"axiomatic: FAILED ({failures} disagreeing "
+              f"(test, model) pair(s))")
+        return 1
+    print(f"axiomatic: OK ({len(tests)} test(s) x {len(models)} model(s), "
+          f"all outcome sets identical)")
+    return 0

@@ -1,0 +1,227 @@
+"""Relational structures for the axiomatic (herd-style) checker.
+
+A *candidate execution* of a litmus test is a set of events plus a
+handful of binary relations over them:
+
+* **po** — program order: same thread, earlier index first;
+* **ppo** — *preserved* program order: the po edges a model enforces.
+  Exactly the relation the interleaving enumerator builds from
+  ``ConsistencyModel.delay_arc``: an edge when the two accesses share
+  an address (local data dependences are always observed) or when the
+  model draws a delay arc between their :class:`AccessClass`es;
+* **rf** — reads-from: which store (or the initial value) each load
+  observes;
+* **co** — coherence order: a total order on the stores to each
+  location, consistent with each thread's program order to that
+  location;
+* **fr** — from-reads, *derived* as ``rf⁻¹ ; co``: a load is ordered
+  before every store that coherence-follows the store it read from.
+
+Everything here is sized for litmus tests (``LitmusTest`` caps a test
+at 12 accesses), so relations are adjacency bitmasks over event ids
+and acyclicity is a 12-node DFS.
+
+Atomic read-modify-writes are modelled as a *single* event that both
+reads and writes.  Its read half is forced to observe its immediate
+coherence predecessor, which is precisely the classical ``fr ; co``
+atomicity exclusion: no foreign store may intervene between the value
+an RMW reads and the value it writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...consistency.litmus import LitmusOp, LitmusTest, Outcome
+from ...consistency.models import ConsistencyModel
+
+__all__ = [
+    "Event",
+    "CandidateExecution",
+    "acyclic",
+    "build_events",
+    "po_edges",
+    "ppo_masks",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One access (or fence) of a litmus test, as a relation node."""
+
+    eid: int            # global event id == bit position in masks
+    tid: int            # thread index
+    idx: int            # index within the thread
+    op: LitmusOp
+
+    @property
+    def location(self) -> Optional[str]:
+        return None if self.op.op == "F" else self.op.addr
+
+    @property
+    def is_read(self) -> bool:
+        return self.op.op in ("R", "U")
+
+    @property
+    def is_write(self) -> bool:
+        return self.op.op in ("W", "U")
+
+    @property
+    def is_fence(self) -> bool:
+        return self.op.op == "F"
+
+    def describe(self) -> str:
+        return f"e{self.eid}=T{self.tid}.{self.idx}:{self.op.describe()}"
+
+
+@dataclass(frozen=True)
+class CandidateExecution:
+    """One (rf, co) witness: communication edges plus the final state.
+
+    ``com`` is the union rf ∪ co ∪ fr as successor bitmasks — by
+    construction it is acyclic on its own (all three relations agree
+    with the per-location coherence order), so a model accepts the
+    execution iff ``ppo ∪ com`` stays acyclic.
+    """
+
+    outcome: Outcome
+    com: Tuple[int, ...]
+    #: rf as a map read-eid -> write-eid (absent key = initial value)
+    rf: Tuple[Tuple[int, int], ...]
+    #: co as per-location event-id orders, for explanations
+    co: Tuple[Tuple[str, Tuple[int, ...]], ...]
+
+    def describe(self, events: Sequence[Event]) -> str:
+        rf_text = ", ".join(
+            f"e{w}->e{r}" for r, w in self.rf) or "all-from-init"
+        co_text = "; ".join(
+            f"{loc}: " + " -> ".join(f"e{e}" for e in order)
+            for loc, order in self.co if len(order) > 1)
+        out = ", ".join(f"{reg}={val}" for reg, val in self.outcome)
+        return f"({out})  rf: {rf_text}" + (f"  co: {co_text}" if co_text else "")
+
+
+def build_events(test: LitmusTest) -> List[Event]:
+    """Flatten a litmus test into numbered events (po-major order)."""
+    events: List[Event] = []
+    for tid, thread in enumerate(test.threads):
+        for idx, op in enumerate(thread):
+            events.append(Event(eid=len(events), tid=tid, idx=idx, op=op))
+    return events
+
+
+def po_edges(events: Sequence[Event]) -> List[Tuple[int, int]]:
+    """Full program order as an edge list (same thread, index order)."""
+    return [(a.eid, b.eid)
+            for a in events for b in events
+            if a.tid == b.tid and a.idx < b.idx]
+
+
+def ppo_masks(events: Sequence[Event], model: ConsistencyModel) -> List[int]:
+    """Preserved program order under ``model`` as successor bitmasks.
+
+    Mirrors the interleaving enumerator's predecessor relation exactly:
+    an edge a -> b (same thread, a first) when the accesses share an
+    address or when ``model.delay_arc(class(a), class(b))`` holds.
+    """
+    classes = [e.op.access_class() for e in events]
+    masks = [0] * len(events)
+    for a in events:
+        for b in events:
+            if a.tid != b.tid or a.idx >= b.idx:
+                continue
+            if a.op.addr == b.op.addr or model.delay_arc(classes[a.eid],
+                                                         classes[b.eid]):
+                masks[a.eid] |= 1 << b.eid
+    return masks
+
+
+def acyclic(succ: Sequence[int]) -> bool:
+    """Is the relation (successor bitmasks) free of directed cycles?"""
+    n = len(succ)
+    color = [0] * n  # 0 = unvisited, 1 = on stack, 2 = done
+    for root in range(n):
+        if color[root]:
+            continue
+        color[root] = 1
+        stack: List[List[int]] = [[root, succ[root]]]
+        while stack:
+            node, remaining = stack[-1]
+            if remaining:
+                nxt = (remaining & -remaining).bit_length() - 1
+                stack[-1][1] = remaining & (remaining - 1)
+                if color[nxt] == 1:
+                    return False
+                if color[nxt] == 0:
+                    color[nxt] = 1
+                    stack.append([nxt, succ[nxt]])
+            else:
+                color[node] = 2
+                stack.pop()
+    return True
+
+
+def union_masks(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    return [x | y for x, y in zip(a, b)]
+
+
+def interleavings(seqs: Sequence[Sequence[int]]):
+    """All merges of the given sequences that preserve each sequence's
+    internal order (the per-location coherence-order candidates)."""
+    live = [list(s) for s in seqs if s]
+    total = sum(len(s) for s in live)
+    positions = [0] * len(live)
+    prefix: List[int] = []
+
+    def rec():
+        if len(prefix) == total:
+            yield tuple(prefix)
+            return
+        for i, s in enumerate(live):
+            if positions[i] >= len(s):
+                continue
+            prefix.append(s[positions[i]])
+            positions[i] += 1
+            yield from rec()
+            positions[i] -= 1
+            prefix.pop()
+
+    yield from rec()
+
+
+class Relation:
+    """A named edge set over events — the explanation-friendly view
+    used by the CLI and docs (the checker itself works on bitmasks)."""
+
+    def __init__(self, name: str,
+                 edges: Sequence[Tuple[int, int]] = ()) -> None:
+        self.name = name
+        self.edges = sorted(set(edges))
+
+    @classmethod
+    def from_masks(cls, name: str, masks: Sequence[int]) -> "Relation":
+        edges = []
+        for src, mask in enumerate(masks):
+            while mask:
+                dst = (mask & -mask).bit_length() - 1
+                mask &= mask - 1
+                edges.append((src, dst))
+        return cls(name, edges)
+
+    def describe(self) -> str:
+        pairs = ", ".join(f"e{a}->e{b}" for a, b in self.edges) or "(empty)"
+        return f"{self.name}: {pairs}"
+
+
+def event_table(events: Sequence[Event]) -> str:
+    return "\n".join("  " + e.describe() for e in events)
+
+
+def location_writes(events: Sequence[Event]) -> Dict[str, List[Event]]:
+    """Writes grouped by location, in event order."""
+    out: Dict[str, List[Event]] = {}
+    for e in events:
+        if e.is_write and e.location is not None:
+            out.setdefault(e.location, []).append(e)
+    return out

@@ -15,12 +15,23 @@ consistent for data-race-free programs.  This package supplies the
   :class:`~repro.sim.trace.TraceRecorder` stream against simulator
   invariants (in-order retirement, bound loads, store-buffer FIFO,
   speculative-load correction, single ownership);
-* :mod:`crosscheck` — run the static analyzer and the dynamic
-  :class:`~repro.core.sc_detection.ScViolationDetector` over the same
+* :mod:`crosscheck` — run the static analyzer, the dynamic
+  :class:`~repro.core.sc_detection.ScViolationDetector`, and the
+  axiomatic checker (:mod:`repro.analysis.axiomatic`) over the same
   litmus suite and report agreement (static-racy must cover every
-  dynamically-flagged access).
+  dynamically-flagged access; axiomatic and enumerated outcome sets
+  must be identical);
+* :mod:`axiomatic_bridge` — convert straight-line ISA programs into
+  litmus tests, exactly or not at all, so the race analyzer and
+  ``python -m repro.run --analyze`` can cite the declarative verdict.
 """
 
+from .axiomatic_bridge import (
+    AxiomaticVerdict,
+    BridgeResult,
+    axiomatic_verdict,
+    litmus_from_programs,
+)
 from .diagnostics import AnalysisReport, Diagnostic, FenceSuggestion, Severity
 from .program_model import StaticAccess, ThreadModel
 from .racecheck import ClassifiedPair, PairClass, analyze_programs, apply_fence_suggestions
@@ -29,6 +40,8 @@ from .crosscheck import CrossCase, CrossReport, cross_validate
 
 __all__ = [
     "AnalysisReport",
+    "AxiomaticVerdict",
+    "BridgeResult",
     "Diagnostic",
     "FenceSuggestion",
     "Severity",
@@ -38,6 +51,8 @@ __all__ = [
     "PairClass",
     "analyze_programs",
     "apply_fence_suggestions",
+    "axiomatic_verdict",
+    "litmus_from_programs",
     "InvariantViolation",
     "SanitizerReport",
     "sanitize_trace",

@@ -1,0 +1,175 @@
+"""Bridge ISA programs to litmus tests for the axiomatic oracle.
+
+The axiomatic checker (:mod:`repro.analysis.axiomatic`) speaks litmus:
+symbolic locations, explicit R/W/U/F ops.  The static race analyzer
+speaks ISA :class:`~repro.isa.program.Program` objects.  This module
+converts the latter into the former — *exactly* or not at all — so
+``analyze_programs`` and ``python -m repro.run --analyze`` can print
+the declarative verdict (which final states the model's axioms admit,
+and whether they all coincide with SC) next to the race classification.
+
+The conversion is deliberately strict.  A litmus test is a straight
+line of statically-resolved accesses, so the bridge refuses programs
+with branches or jumps (a spin loop has no finite access sequence),
+unresolvable addresses, stores whose value constant propagation cannot
+pin down, fetch-and-add RMWs (their written value depends on the old
+memory value), or more than the enumerators' 12-access envelope.  A
+refusal is reported, never papered over: an approximate conversion
+would turn the oracle's verdict into a guess.
+
+One idiom is recognized structurally: an acquire+release RMW on a
+location no other access touches is the compiled form of a full fence
+(:meth:`LitmusTest.to_programs`), and maps back to ``F``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ...consistency.litmus import LitmusOp, LitmusTest
+from ...consistency.models import SC, ConsistencyModel
+from ...isa.instructions import Branch, Jump, Load, Rmw, Store
+from ...isa.program import Program
+from ...sim.errors import ConfigurationError
+from .program_model import StaticAccess, ThreadModel
+
+#: symbolic names for the well-known litmus addresses; anything else
+#: gets a synthesized ``m<hex>`` name
+_ADDR_NAMES: Dict[int, str] = {v: k for k, v in LitmusTest.ADDR_MAP.items()}
+
+#: the litmus enumerators' access-count envelope
+MAX_BRIDGED_ACCESSES = 12
+
+
+@dataclass(frozen=True)
+class BridgeResult:
+    """Outcome of a program-to-litmus conversion attempt."""
+
+    test: Optional[LitmusTest]
+    reason: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.test is not None
+
+
+def _addr_name(addr: int) -> str:
+    return _ADDR_NAMES.get(addr, f"m{addr:x}")
+
+
+def _is_private(a: StaticAccess, threads: Sequence[ThreadModel]) -> bool:
+    """Is ``a`` the only access to its address in the whole program?"""
+    return sum(1 for t in threads for b in t.accesses
+               if b.addr == a.addr) == 1
+
+
+def litmus_from_programs(programs: Sequence[Program],
+                         name: str = "bridged",
+                         line_size: int = 4) -> BridgeResult:
+    """Convert one program per processor into a litmus test, exactly.
+
+    Returns a :class:`BridgeResult`; ``result.reason`` explains a
+    refusal in terms the analyzer's report can quote.
+    """
+    for cpu, program in enumerate(programs):
+        for pc, instr in enumerate(program):
+            if isinstance(instr, (Branch, Jump)):
+                return BridgeResult(None, reason=(
+                    f"cpu{cpu} pc{pc} has control flow "
+                    f"({type(instr).__name__.lower()}); only straight-line "
+                    f"programs convert exactly"))
+    threads = [ThreadModel.from_program(p, cpu, line_size)
+               for cpu, p in enumerate(programs)]
+    total = sum(len(t.accesses) for t in threads)
+    if total > MAX_BRIDGED_ACCESSES:
+        return BridgeResult(None, reason=(
+            f"{total} shared accesses exceed the {MAX_BRIDGED_ACCESSES}-"
+            f"access enumeration envelope"))
+
+    litmus_threads: List[List[LitmusOp]] = []
+    for t in threads:
+        ops: List[LitmusOp] = []
+        for a in t.accesses:
+            if a.addr is None:
+                return BridgeResult(None, reason=(
+                    f"cpu{t.cpu} pc{a.pc} ({a.site_tag()}): address is "
+                    f"not statically resolvable"))
+            loc = _addr_name(a.addr)
+            reg = f"t{t.cpu}r{a.order}"
+            if isinstance(a.instr, Rmw):
+                if (a.klass.acquire and a.klass.release
+                        and _is_private(a, threads)):
+                    ops.append(LitmusOp(op="F"))
+                    continue
+                if a.store_value is None:
+                    return BridgeResult(None, reason=(
+                        f"cpu{t.cpu} pc{a.pc} ({a.site_tag()}): RMW "
+                        f"written value is not statically known "
+                        f"({a.instr.op!r})"))
+                ops.append(LitmusOp(op="U", addr=loc, value=a.store_value,
+                                    reg=reg, acquire=a.klass.acquire,
+                                    release=a.klass.release))
+            elif isinstance(a.instr, Store):
+                if a.store_value is None:
+                    return BridgeResult(None, reason=(
+                        f"cpu{t.cpu} pc{a.pc} ({a.site_tag()}): stored "
+                        f"value is not statically known"))
+                ops.append(LitmusOp(op="W", addr=loc, value=a.store_value,
+                                    release=a.klass.release))
+            elif isinstance(a.instr, Load):
+                ops.append(LitmusOp(op="R", addr=loc, reg=reg,
+                                    acquire=a.klass.acquire))
+        litmus_threads.append(ops)
+    try:
+        test = LitmusTest(name=name, threads=litmus_threads)
+    except ConfigurationError as exc:  # pragma: no cover - defensive
+        return BridgeResult(None, reason=str(exc))
+    return BridgeResult(test)
+
+
+@dataclass(frozen=True)
+class AxiomaticVerdict:
+    """The declarative checker's view of one multiprocessor program."""
+
+    model: str
+    available: bool
+    reason: str = ""
+    #: outcome counts under the model and under SC (when available)
+    num_outcomes: int = 0
+    num_sc_outcomes: int = 0
+    sc_equivalent: Optional[bool] = None
+
+    def describe(self) -> str:
+        if not self.available:
+            return f"axiomatic verdict unavailable ({self.reason})"
+        tail = ("every admitted execution is sequentially consistent"
+                if self.sc_equivalent
+                else "the axioms admit outcomes SC forbids")
+        return (f"axioms admit {self.num_outcomes} final state(s) under "
+                f"{self.model} vs {self.num_sc_outcomes} under SC — {tail}")
+
+
+def axiomatic_verdict(programs: Sequence[Program],
+                      model: ConsistencyModel,
+                      line_size: int = 4) -> AxiomaticVerdict:
+    """Bridge the programs and ask the axiomatic checker for a verdict.
+
+    Never raises on unconvertible programs — the refusal reason lands
+    in the verdict, so reports can always quote something definite.
+    """
+    bridged = litmus_from_programs(programs, line_size=line_size)
+    if bridged.test is None:
+        return AxiomaticVerdict(model=model.name, available=False,
+                                reason=bridged.reason)
+    from ..axiomatic import axiomatic_outcomes
+
+    outcomes = axiomatic_outcomes(bridged.test, model)
+    sc_outcomes = axiomatic_outcomes(bridged.test, SC)
+    return AxiomaticVerdict(
+        model=model.name,
+        available=True,
+        num_outcomes=len(outcomes),
+        num_sc_outcomes=len(sc_outcomes),
+        sc_equivalent=outcomes == sc_outcomes,
+    )

@@ -95,6 +95,12 @@ class AnalysisReport:
     #: whose program order the model fully enforces (order route).
     sc_guaranteed: bool = True
     notes: List[str] = field(default_factory=list)
+    #: the declarative checker's independent view (set when the program
+    #: bridges to a litmus test; the refusal reason otherwise)
+    axiomatic_verdict: str = ""
+    #: True/False when the axiomatic checker could compare the model's
+    #: admitted final states against SC's; None when unavailable
+    axiomatic_sc_equivalent: Optional[bool] = None
 
     # ------------------------------------------------------------------
     def add(self, diag: Diagnostic) -> None:
@@ -161,6 +167,8 @@ class AnalysisReport:
                    if self.sc_guaranteed
                    else "executions may violate sequential consistency")
         lines.append(f"  verdict: {verdict}")
+        if self.axiomatic_verdict:
+            lines.append(f"  axiomatic: {self.axiomatic_verdict}")
         return "\n".join(lines)
 
 

@@ -60,6 +60,10 @@ class StaticAccess:
     value_used: bool = False      # load/RMW result read by anything later
     guards_branch: bool = False   # load/RMW result reaches a branch condition
     locks: FrozenSet[int] = frozenset()
+    #: the value a store/RMW writes, when constant propagation resolves
+    #: it (``ts`` always writes 1; ``add`` depends on the old memory
+    #: value, so it is never static)
+    store_value: Optional[int] = None
 
     @property
     def is_store(self) -> bool:
@@ -175,6 +179,15 @@ class _Extractor:
             addr = None if base is None else base + instr.offset
             line = None if addr is None else addr // self.line_size
             klass = classify(instr)
+            store_value: Optional[int] = None
+            if isinstance(instr, Store):
+                store_value = 0 if instr.src == "r0" else env.get(instr.src)
+            elif isinstance(instr, Rmw):
+                if instr.op == "ts":
+                    store_value = 1
+                elif instr.op == "swap":
+                    store_value = (0 if instr.src == "r0"
+                                   else env.get(instr.src))
             used, guards = self._use_pass(pc, destination_register(instr))
             if destination_register(instr) is not None and destination_register(instr) != "r0":
                 env[destination_register(instr)] = None
@@ -199,5 +212,6 @@ class _Extractor:
                 value_used=used,
                 guards_branch=guards,
                 locks=locks_here,
+                store_value=store_value,
             ))
         return accesses

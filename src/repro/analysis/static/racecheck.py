@@ -32,13 +32,14 @@ guarantee.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ...consistency.access_class import PLAIN_LOAD, PLAIN_STORE
 from ...consistency.models import ConsistencyModel
 from ...isa.instructions import Rmw
 from ...isa.program import Program
+from .axiomatic_bridge import axiomatic_verdict
 from .diagnostics import AnalysisReport, Diagnostic, FenceSuggestion, Severity, Site
 from .program_model import StaticAccess, ThreadModel
 
@@ -221,6 +222,12 @@ def analyze_programs(
     report = AnalysisReport(model=model.name)
     total = _model_is_total(model)
 
+    # the declarative checker's independent view of the same program
+    # (when it bridges exactly; the refusal reason otherwise)
+    verdict = axiomatic_verdict(programs, model, line_size=line_size)
+    report.axiomatic_verdict = verdict.describe()
+    report.axiomatic_sc_equivalent = verdict.sc_equivalent
+
     # order route: per-CPU, does the model enforce program order among
     # the accesses other processors can observe?
     report.po_fully_enforced = []
@@ -238,6 +245,7 @@ def analyze_programs(
             "model enforces full program order: sequentially consistent "
             "for all programs (no race classification needed)")
         report.sc_guaranteed = True
+        _cite_axiomatic(report)
         return report
 
     hb = _build_hb(threads, model)
@@ -296,7 +304,25 @@ def analyze_programs(
 
     report.sc_guaranteed = sc_ok
     report.pairs = classified  # type: ignore[attr-defined]
+    _cite_axiomatic(report)
     return report
+
+
+def _cite_axiomatic(report: AnalysisReport) -> None:
+    """Append the declarative checker's verdict to every race finding,
+    so each diagnostic cites the independent oracle's view."""
+    if report.axiomatic_sc_equivalent is None:
+        return
+    if report.axiomatic_sc_equivalent:
+        cite = ("the axiomatic checker finds every admitted final state "
+                "sequentially consistent")
+    else:
+        cite = ("the axiomatic checker confirms the model admits final "
+                "states SC forbids")
+    for i, d in enumerate(report.diagnostics):
+        if d.kind in ("data-race", "fence-fixable"):
+            report.diagnostics[i] = replace(
+                d, message=f"{d.message} ({cite})")
 
 
 def _conflicting_pairs(threads: Sequence[ThreadModel]) -> List[Tuple[StaticAccess, StaticAccess]]:

@@ -195,6 +195,21 @@ class LitmusTest:
         return frozenset(results)
 
     # ------------------------------------------------------------------
+    def axiomatic_outcomes(self, model: ConsistencyModel) -> FrozenSet[Outcome]:
+        """The outcome set by the *axiomatic* (herd-style) semantics.
+
+        Same shape as :meth:`outcomes`, derived independently —
+        candidate (rf, co) executions accepted by the model's
+        acyclicity axiom instead of explicit interleaving.  The two
+        sets are provably equal; the differential harness checks it.
+        Thin hook over :func:`repro.analysis.axiomatic.axiomatic_outcomes`
+        (imported lazily — the analysis package depends on this module).
+        """
+        from ..analysis.axiomatic import axiomatic_outcomes
+
+        return axiomatic_outcomes(self, model)
+
+    # ------------------------------------------------------------------
     def allows(self, model: ConsistencyModel, **partial: int) -> bool:
         """Is some outcome consistent with the given register values?"""
         wanted = set(partial.items())

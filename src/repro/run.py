@@ -129,7 +129,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     model = get_model(args.model)
     if args.analyze:
         from .analysis.static import analyze_programs
-        print(analyze_programs(programs, model).render())
+        report = analyze_programs(programs, model)
+        print(report.render())
+        static_verdict = ("every execution is sequentially consistent"
+                          if report.sc_guaranteed
+                          else "executions may violate sequential consistency")
+        print("verdicts side by side:")
+        print(f"  static analyzer : {static_verdict}")
+        print(f"  axiomatic checker: {report.axiomatic_verdict}")
         print()
 
     tracing = (args.trace or args.sanitize or args.perfetto

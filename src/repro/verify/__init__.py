@@ -1,25 +1,39 @@
 """Differential conformance verification (``python -m repro.verify``).
 
-The fuzzer ties the repo's two semantics together: random litmus tests
-from :mod:`.generator`, the reference outcome sets from exhaustive
-enumeration, and the observed outcomes from the detailed simulator —
-checked against each other across models, techniques, and machine
-configurations by :mod:`.harness`, with failures minimized
-(:mod:`.minimize`) and recorded for replay (:mod:`.corpus`).
+The fuzzer ties the repo's *three* semantics together: random litmus
+tests from :mod:`.generator`, the reference outcome sets from
+exhaustive enumeration, the declarative outcome sets from the
+axiomatic checker (:mod:`repro.analysis.axiomatic`), and the observed
+outcomes from the detailed simulator — checked against each other
+across models, techniques, and machine configurations by
+:mod:`.harness` (``HarnessConfig.oracle`` selects the legs), with
+failures minimized (:mod:`.minimize`) and recorded for replay
+(:mod:`.corpus`).
 """
 
-from .corpus import Corpus, CorpusEntry, litmus_from_dict, litmus_to_dict, replay_corpus
+from .corpus import (
+    Corpus,
+    CorpusEntry,
+    disagreement_to_dict,
+    divergence_to_dict,
+    litmus_from_dict,
+    litmus_to_dict,
+    replay_corpus,
+)
 from .generator import DEFAULT_ADDR_POOL, GeneratorConfig, generate_litmus
 from .harness import (
     DEFAULT_RUN_CONFIGS,
     FAULTS,
     MODEL_NAMES,
+    ORACLE_MODES,
     TECHNIQUE_COMBOS,
     CheckResult,
     Divergence,
     HarnessConfig,
+    OracleDisagreement,
     RunConfig,
     apply_fault,
+    check_named,
     check_seed,
     check_test,
     divergence_reproduces,
@@ -39,12 +53,17 @@ __all__ = [
     "HarnessConfig",
     "MODEL_NAMES",
     "MinimizationResult",
+    "ORACLE_MODES",
+    "OracleDisagreement",
     "RunConfig",
     "TECHNIQUE_COMBOS",
     "apply_fault",
+    "check_named",
     "check_seed",
     "check_test",
+    "disagreement_to_dict",
     "divergence_reproduces",
+    "divergence_to_dict",
     "generate_litmus",
     "litmus_from_dict",
     "litmus_to_dict",

@@ -3,29 +3,47 @@
 Typical runs::
 
     python -m repro.verify --budget 200 --jobs 4 --seed 0
+    python -m repro.verify --budget 2000 --oracle axiomatic   # static only
+    python -m repro.verify --suite --oracle all               # named suite
     python -m repro.verify --budget 50 --fault slb-deaf --corpus out.json
     python -m repro.verify --replay out.json
 
+``--oracle`` picks the legs of the three-way crosscheck: ``sim``
+(simulator vs interleaving enumerator — the historical check),
+``axiomatic`` (enumerator vs the declarative herd-style checker, no
+simulation at all), or ``all`` (default: both, plus simulator
+membership in the axiomatic set).
+
 Exit status is 0 when every check passed, 1 when any divergence,
-worker error, or still-failing replay entry was found.
+oracle disagreement, worker error, or still-failing replay entry was
+found.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..consistency.litmus import STANDARD_TESTS
 from ..sim.sweep import ProgressMeter, SweepError, derive_seed, run_sweep
 from .corpus import (
     Corpus,
     CorpusEntry,
+    disagreement_to_dict,
     divergence_to_dict,
     litmus_to_dict,
     replay_corpus,
 )
 from .generator import GeneratorConfig, generate_litmus
-from .harness import FAULTS, CheckResult, HarnessConfig, check_seed
+from .harness import (
+    FAULTS,
+    ORACLE_MODES,
+    CheckResult,
+    HarnessConfig,
+    check_named,
+    check_seed,
+)
 from .minimize import minimize
 
 
@@ -49,6 +67,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "when something fails)")
     parser.add_argument("--replay", metavar="PATH", default=None,
                         help="re-check a saved corpus instead of fuzzing")
+    parser.add_argument("--oracle", choices=ORACLE_MODES, default="all",
+                        help="which oracle legs to run: sim (simulator vs "
+                             "enumerator), axiomatic (enumerator vs "
+                             "declarative checker, no simulation), or all "
+                             "(default)")
+    parser.add_argument("--suite", action="store_true",
+                        help="check the named litmus suite instead of "
+                             "fuzzing (--budget/--seed are ignored)")
     parser.add_argument("--fault", choices=sorted(FAULTS), default=None,
                         help="inject a known fault in the workers "
                              "(self-test: the fuzzer must catch it)")
@@ -74,6 +100,16 @@ def _progress_printer(quiet: bool):
     return progress
 
 
+def _oracle_counters(failures: Sequence[CheckResult]) -> Tuple[int, int, int]:
+    """(sim-vs-enumerator, sim-vs-axiomatic, axiomatic-vs-enumerator)."""
+    sim_enum = sum(1 for f in failures for d in f.divergences
+                   if d.oracle == "enumerator")
+    sim_ax = sum(1 for f in failures for d in f.divergences
+                 if d.oracle == "axiomatic")
+    ax_enum = sum(len(f.oracle_disagreements) for f in failures)
+    return sim_enum, sim_ax, ax_enum
+
+
 def run_fuzz(budget: int, jobs: int, seed: int,
              chunk_size: Optional[int] = None,
              fault: Optional[str] = None,
@@ -81,21 +117,35 @@ def run_fuzz(budget: int, jobs: int, seed: int,
              do_minimize: bool = True,
              quiet: bool = False,
              telemetry: bool = False,
-             generator: Optional[GeneratorConfig] = None) -> int:
-    """Fuzz ``budget`` seeds; returns the process exit status.
+             generator: Optional[GeneratorConfig] = None,
+             oracle: str = "all",
+             suite: bool = False) -> int:
+    """Fuzz ``budget`` seeds (or sweep the named suite); returns the
+    process exit status.
 
     ``telemetry`` upgrades the plain ``checked n/total`` counter to the
-    live sweep meter (EMA rate, ETA, worker utilization).
+    live sweep meter (EMA rate, ETA, worker utilization).  ``oracle``
+    selects the crosscheck legs (see module docstring); ``suite``
+    checks every named standard litmus test instead of fuzzing.
     """
     gen_config = generator if generator is not None else GeneratorConfig()
-    options: Dict[str, object] = {"generator": gen_config.to_dict()}
+    options: Dict[str, object] = {"generator": gen_config.to_dict(),
+                                  "oracle": oracle}
     if fault is not None:
         options["fault"] = fault
-    items = [(i, derive_seed(seed, i, "fuzz"), options)
-             for i in range(budget)]
+    if suite:
+        names = sorted(STANDARD_TESTS)
+        items = [(i, name, options) for i, name in enumerate(names)]
+        worker = check_named
+        total = len(names)
+    else:
+        items = [(i, derive_seed(seed, i, "fuzz"), options)
+                 for i in range(budget)]
+        worker = check_seed  # type: ignore[assignment]
+        total = budget
 
     meter = ProgressMeter(label="verify") if telemetry and not quiet else None
-    sweep = run_sweep(check_seed, items, jobs=jobs, chunk_size=chunk_size,
+    sweep = run_sweep(worker, items, jobs=jobs, chunk_size=chunk_size,
                       progress=None if meter else _progress_printer(quiet),
                       telemetry=meter, on_error="record")
     if meter is not None:
@@ -114,18 +164,28 @@ def run_fuzz(budget: int, jobs: int, seed: int,
 
     if not quiet:
         print(sweep.describe())
-        print(f"  {total_runs} simulator run(s) across {budget} test(s)")
+        print(f"  {total_runs} simulator run(s) across {total} test(s) "
+              f"[oracle={oracle}]")
 
     corpus = Corpus()
     for failure in failures:
-        test = generate_litmus(failure.seed, gen_config)
-        print(f"FAIL seed={failure.seed} (item {failure.index}): "
-              f"{len(failure.divergences)} divergence(s)")
+        if suite:
+            test = STANDARD_TESTS[failure.test_name]()
+        else:
+            test = generate_litmus(failure.seed, gen_config)
+        label = (f"test {failure.test_name!r}" if suite
+                 else f"seed={failure.seed}")
+        print(f"FAIL {label} (item {failure.index}): "
+              f"{len(failure.divergences)} divergence(s), "
+              f"{len(failure.oracle_disagreements)} oracle disagreement(s)")
+        for dis in failure.oracle_disagreements[:4]:
+            print(f"  {dis.describe()}")
         for div in failure.divergences[:4]:
             print(f"  {div.describe()}")
         minimized_dict = None
         if do_minimize:
-            shrink = minimize(test, config=HarnessConfig(fault=fault))
+            shrink = minimize(test,
+                              config=HarnessConfig(fault=fault, oracle=oracle))
             minimized_dict = litmus_to_dict(shrink.test)
             print(f"  {shrink.describe()}")
             for tid, thread in enumerate(shrink.test.threads):
@@ -134,11 +194,14 @@ def run_fuzz(budget: int, jobs: int, seed: int,
         corpus.add(CorpusEntry(
             master_seed=seed,
             index=failure.index,
-            derived_seed=failure.seed,
+            derived_seed=0 if suite else failure.seed,
             test=litmus_to_dict(test),
             divergences=[divergence_to_dict(d) for d in failure.divergences],
             minimized=minimized_dict,
             fault=fault,
+            oracle=oracle,
+            oracle_disagreements=[disagreement_to_dict(d)
+                                  for d in failure.oracle_disagreements],
         ))
     for crash in crashes:
         print(f"ERROR {crash.describe()}")
@@ -147,13 +210,16 @@ def run_fuzz(budget: int, jobs: int, seed: int,
         corpus.save(corpus_path)
         print(f"wrote {len(corpus.entries)} corpus entr(ies) to {corpus_path}")
 
+    sim_enum, sim_ax, ax_enum = _oracle_counters(failures)
     if failures or crashes:
-        print(f"verify: FAILED ({len(failures)} divergent test(s), "
-              f"{len(crashes)} crash(es))")
+        print(f"verify: FAILED ({len(failures)} failing test(s), "
+              f"{len(crashes)} crash(es); sim-vs-enumerator {sim_enum}, "
+              f"sim-vs-axiomatic {sim_ax}, "
+              f"axiomatic-vs-enumerator {ax_enum})")
         return 1
     if not quiet:
-        print(f"verify: OK ({budget} test(s), {total_runs} run(s), "
-              f"0 divergences)")
+        print(f"verify: OK ({total} test(s), {total_runs} run(s), "
+              f"0 divergences, 0 oracle disagreements)")
     return 0
 
 
@@ -173,7 +239,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.replay is not None:
         return run_replay(args.replay, quiet=args.quiet)
-    if args.budget < 1:
+    if args.budget < 1 and not args.suite:
         print("--budget must be >= 1", file=sys.stderr)
         return 2
     return run_fuzz(
@@ -186,6 +252,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         do_minimize=not args.no_minimize,
         quiet=args.quiet,
         telemetry=args.progress,
+        oracle=args.oracle,
+        suite=args.suite,
     )
 
 

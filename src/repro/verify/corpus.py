@@ -15,10 +15,11 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..consistency.litmus import LitmusOp, LitmusTest
-from .harness import Divergence
+from .harness import Divergence, OracleDisagreement
 
-#: bumped when the on-disk schema changes incompatibly
-CORPUS_VERSION = 1
+#: bumped when the on-disk schema changes incompatibly; version-1
+#: corpora (no oracle fields) still load — the new fields default
+CORPUS_VERSION = 2
 
 
 def litmus_to_dict(test: LitmusTest) -> Dict[str, object]:
@@ -32,6 +33,7 @@ def litmus_to_dict(test: LitmusTest) -> Dict[str, object]:
              for op in thread]
             for thread in test.threads
         ],
+        "initial": dict(test.initial),
     }
 
 
@@ -40,7 +42,10 @@ def litmus_from_dict(data: Dict[str, object]) -> LitmusTest:
         [LitmusOp(**op) for op in thread]  # type: ignore[arg-type]
         for thread in data["threads"]  # type: ignore[union-attr]
     ]
-    return LitmusTest(name=str(data.get("name", "corpus")), threads=threads)
+    initial = {str(k): int(v)  # type: ignore[call-overload]
+               for k, v in dict(data.get("initial", {})).items()}  # type: ignore[arg-type]
+    return LitmusTest(name=str(data.get("name", "corpus")), threads=threads,
+                      initial=initial)
 
 
 @dataclass
@@ -54,6 +59,8 @@ class CorpusEntry:
     divergences: List[Dict[str, object]]
     minimized: Optional[Dict[str, object]] = None
     fault: Optional[str] = None
+    oracle: str = "all"
+    oracle_disagreements: List[Dict[str, object]] = field(default_factory=list)
 
     def litmus(self) -> LitmusTest:
         return litmus_from_dict(self.test)
@@ -65,6 +72,13 @@ class CorpusEntry:
 def divergence_to_dict(div: Divergence) -> Dict[str, object]:
     data = asdict(div)
     data["observed"] = [list(pair) for pair in div.observed]
+    return data
+
+
+def disagreement_to_dict(dis: OracleDisagreement) -> Dict[str, object]:
+    data = asdict(dis)
+    data["missing"] = [[list(pair) for pair in o] for o in dis.missing]
+    data["extra"] = [[list(pair) for pair in o] for o in dis.extra]
     return data
 
 
@@ -106,7 +120,7 @@ def replay_corpus(path: Union[str, Path],
     still_failing: List[CorpusEntry] = []
     for entry in corpus.entries:
         test = entry.minimized_litmus() if minimized else entry.litmus()
-        config = HarnessConfig(fault=entry.fault)
+        config = HarnessConfig(fault=entry.fault, oracle=entry.oracle)
         if divergence_reproduces(test, config):
             still_failing.append(entry)
     return still_failing

@@ -1,19 +1,31 @@
-"""Differential conformance checking: detailed machine vs litmus reference.
+"""Differential conformance checking: a three-way oracle.
 
 The paper's central claim is that prefetching and speculative loads
 are *invisible* to the consistency model.  The harness checks exactly
-that, mechanically: for a litmus test the reference semantics
-(exhaustive linearization under the model's delay arcs, Section 2's
-write-atomicity assumption) yields the set of permitted final register
-states; every outcome the detailed simulator actually produces — under
-any technique combination, cache geometry, or thread-start skew —
-must be a member of that set.
+that, mechanically, against **three independent semantics**:
+
+1. the *interleaving enumerator* (:meth:`LitmusTest.outcomes`):
+   exhaustive linearization under the model's delay arcs, Section 2's
+   write-atomicity assumption;
+2. the *axiomatic checker* (:mod:`repro.analysis.axiomatic`):
+   herd-style candidate executions accepted by per-model acyclicity
+   axioms — no simulation, no interleaving, just relations;
+3. the *detailed simulator*: what the machine actually does.
+
+The first two must produce **identical** outcome sets for every
+(test, model); every outcome the simulator produces — under any
+technique combination, cache geometry, or thread-start skew — must be
+a member of both.  ``HarnessConfig.oracle`` selects the legs: ``sim``
+(simulator vs enumerator, the historical check), ``axiomatic``
+(enumerator vs axioms, purely static and therefore cheap enough for
+huge fuzz slices), or ``all`` (the default three-way).
 
 ``check_seed`` is the sweep-engine worker: a picklable item in, a
 picklable :class:`CheckResult` out, so fuzzing parallelizes across
-processes.  A small **fault registry** can deliberately break the
-speculative-load buffer inside the worker process; the fuzzer finding
-those mutations proves the harness has teeth.
+processes.  ``check_named`` is its sibling for the named litmus suite.
+A small **fault registry** can deliberately break the speculative-load
+buffer inside the worker process; the fuzzer finding those mutations
+proves the harness has teeth.
 """
 
 from __future__ import annotations
@@ -30,6 +42,9 @@ from ..system.machine import run_workload
 #: the four models the paper discusses, by name (names pickle smaller
 #: and more robustly than model instances)
 MODEL_NAMES: Tuple[str, ...] = ("SC", "PC", "WC", "RC")
+
+#: which oracle legs the harness runs — see the module docstring
+ORACLE_MODES: Tuple[str, ...] = ("sim", "axiomatic", "all")
 
 #: (prefetch, speculation) combinations the harness drives
 TECHNIQUE_COMBOS: Tuple[Tuple[bool, bool], ...] = (
@@ -79,11 +94,20 @@ class HarnessConfig:
     run_configs: Tuple[RunConfig, ...] = DEFAULT_RUN_CONFIGS
     #: name of a registered fault to apply in the worker (tests only)
     fault: Optional[str] = None
+    #: which oracle legs to run: "sim", "axiomatic", or "all"
+    oracle: str = "all"
 
 
 @dataclass(frozen=True)
 class Divergence:
-    """One observed outcome outside the model's permitted set."""
+    """One observed outcome outside an oracle's permitted set.
+
+    ``oracle`` names the reference set the outcome fell outside:
+    ``"enumerator"`` (also outside the axiomatic set when both legs
+    agree) or ``"axiomatic"`` (inside the enumerator's set but outside
+    the axiomatic one — only possible while the static oracles
+    themselves disagree).
+    """
 
     test_name: str
     model: str
@@ -92,6 +116,7 @@ class Divergence:
     config_name: str
     observed: Outcome
     permitted_count: int
+    oracle: str = "enumerator"
 
     def describe(self) -> str:
         tech = (f"prefetch={'on' if self.prefetch else 'off'} "
@@ -99,7 +124,33 @@ class Divergence:
         obs = ", ".join(f"{reg}={val}" for reg, val in self.observed)
         return (f"{self.test_name} under {self.model} [{tech}, "
                 f"{self.config_name}]: observed ({obs}) is outside the "
-                f"{self.permitted_count} permitted outcome(s)")
+                f"{self.permitted_count} permitted outcome(s) "
+                f"of the {self.oracle} oracle")
+
+
+@dataclass(frozen=True)
+class OracleDisagreement:
+    """The two static oracles disagree on one (test, model).
+
+    ``missing`` outcomes are permitted by the interleaving enumerator
+    but rejected by the axioms; ``extra`` outcomes are admitted by the
+    axioms but never reached by the enumerator.  Either is a bug in
+    one of the two implementations — the sets are provably equal.
+    """
+
+    test_name: str
+    model: str
+    missing: Tuple[Outcome, ...]
+    extra: Tuple[Outcome, ...]
+
+    def describe(self) -> str:
+        def fmt(outcomes: Tuple[Outcome, ...]) -> str:
+            return "; ".join(
+                "(" + ", ".join(f"{r}={v}" for r, v in o) + ")"
+                for o in outcomes) or "none"
+        return (f"{self.test_name} under {self.model}: axiomatic and "
+                f"enumerated outcome sets differ — missing {fmt(self.missing)}"
+                f" / extra {fmt(self.extra)}")
 
 
 @dataclass
@@ -111,10 +162,11 @@ class CheckResult:
     test_name: str
     num_runs: int = 0
     divergences: List[Divergence] = field(default_factory=list)
+    oracle_disagreements: List[OracleDisagreement] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.divergences
+        return not self.divergences and not self.oracle_disagreements
 
 
 # ----------------------------------------------------------------------
@@ -201,15 +253,47 @@ def observed_outcome(test: LitmusTest, model_name: str, prefetch: bool,
 
 def check_test(test: LitmusTest, config: HarnessConfig = HarnessConfig(),
                index: int = 0, seed: int = 0) -> CheckResult:
-    """Differentially check one litmus test across the whole config axis."""
+    """Differentially check one litmus test across the whole config axis.
+
+    Depending on ``config.oracle`` this runs the static
+    axiomatic-vs-enumerator crosscheck (``"axiomatic"``/``"all"``) and
+    the simulator sweep (``"sim"``/``"all"``).  Pure-axiomatic mode
+    never touches the simulator, so it fuzzes orders of magnitude more
+    tests per second.
+    """
+    if config.oracle not in ORACLE_MODES:
+        raise ConfigurationError(
+            f"unknown oracle mode {config.oracle!r}; "
+            f"available: {ORACLE_MODES}")
     if config.fault is not None:
         apply_fault(config.fault)
     out = CheckResult(index=index, seed=seed, test_name=test.name)
     reference: Dict[str, FrozenSet[Outcome]] = {}
     for model_name in config.models:
         reference[model_name] = test.outcomes(get_model(model_name))
+
+    axiomatic: Dict[str, FrozenSet[Outcome]] = {}
+    if config.oracle in ("axiomatic", "all"):
+        from ..analysis.axiomatic import axiomatic_outcomes
+
+        for model_name in config.models:
+            axiomatic[model_name] = axiomatic_outcomes(
+                test, get_model(model_name))
+            if axiomatic[model_name] != reference[model_name]:
+                out.oracle_disagreements.append(OracleDisagreement(
+                    test_name=test.name,
+                    model=model_name,
+                    missing=tuple(sorted(
+                        reference[model_name] - axiomatic[model_name])),
+                    extra=tuple(sorted(
+                        axiomatic[model_name] - reference[model_name])),
+                ))
+
+    if config.oracle not in ("sim", "all"):
+        return out
     for model_name in config.models:
         permitted = reference[model_name]
+        ax_permitted = axiomatic.get(model_name)
         for prefetch, speculation in config.techniques:
             for run_config in config.run_configs:
                 observed = observed_outcome(test, model_name, prefetch,
@@ -224,6 +308,20 @@ def check_test(test: LitmusTest, config: HarnessConfig = HarnessConfig(),
                         config_name=run_config.name,
                         observed=observed,
                         permitted_count=len(permitted),
+                        oracle="enumerator",
+                    ))
+                elif ax_permitted is not None and observed not in ax_permitted:
+                    # only reachable while the static oracles disagree:
+                    # the simulator sided with the enumerator
+                    out.divergences.append(Divergence(
+                        test_name=test.name,
+                        model=model_name,
+                        prefetch=prefetch,
+                        speculation=speculation,
+                        config_name=run_config.name,
+                        observed=observed,
+                        permitted_count=len(ax_permitted),
+                        oracle="axiomatic",
                     ))
     return out
 
@@ -251,6 +349,30 @@ def check_seed(item: Tuple[int, int, Dict[str, object]]) -> CheckResult:
     index, seed, options = item
     gen_config = GeneratorConfig.from_dict(
         dict(options.get("generator", {})))  # type: ignore[arg-type]
-    harness = HarnessConfig(fault=options.get("fault"))  # type: ignore[arg-type]
+    harness = HarnessConfig(
+        fault=options.get("fault"),  # type: ignore[arg-type]
+        oracle=str(options.get("oracle", "all")),
+    )
     test = generate_litmus(seed, gen_config)
     return check_test(test, harness, index=index, seed=seed)
+
+
+def check_named(item: Tuple[int, str, Dict[str, object]]) -> CheckResult:
+    """Check one *named* suite test: ``(index, test_name, options)``.
+
+    The sweep-engine sibling of :func:`check_seed` for
+    ``python -m repro.verify --suite`` — same options dict, but the
+    test comes from :data:`STANDARD_TESTS` instead of the generator.
+    """
+    from ..consistency.litmus import STANDARD_TESTS
+
+    index, name, options = item
+    if name not in STANDARD_TESTS:
+        raise ConfigurationError(
+            f"unknown litmus test {name!r}; available: "
+            f"{sorted(STANDARD_TESTS)}")
+    harness = HarnessConfig(
+        fault=options.get("fault"),  # type: ignore[arg-type]
+        oracle=str(options.get("oracle", "all")),
+    )
+    return check_test(STANDARD_TESTS[name](), harness, index=index, seed=0)

@@ -206,6 +206,54 @@ class TestGeneratedLitmusProperties:
 
 
 # ----------------------------------------------------------------------
+# The axiomatic checker against the interleaving enumerator
+# ----------------------------------------------------------------------
+
+class TestAxiomaticProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_axiomatic_equals_enumerator(self, seed):
+        """The declarative and interleaving semantics are the same
+        function: identical outcome sets on every generated test."""
+        from repro.analysis.axiomatic import axiomatic_outcomes
+        from repro.verify import generate_litmus
+        test = generate_litmus(seed)
+        for model in (SC, PC, WC, RC):
+            assert axiomatic_outcomes(test, model) == \
+                test.outcomes(model), model.name
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_axiomatic_sc_subset_of_weaker_models(self, seed):
+        """Relaxation only shrinks ppo, so every SC-accepted candidate
+        stays accepted: the axiomatic SC set is a subset of each weaker
+        model's set."""
+        from repro.analysis.axiomatic import axiomatic_outcomes
+        from repro.verify import generate_litmus
+        test = generate_litmus(seed)
+        sc = axiomatic_outcomes(test, SC)
+        for model in (PC, WC, RC):
+            assert sc <= axiomatic_outcomes(test, model), model.name
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_axiomatic_fence_saturation_collapses_to_sc(self, seed):
+        """A full fence in every gap makes ppo total again: each
+        model's axiomatic outcome set collapses to the unfenced
+        axiomatic SC set."""
+        from repro.analysis.axiomatic import axiomatic_outcomes
+        from repro.verify import generate_litmus
+        test = generate_litmus(seed, _small_gen())
+        sc = axiomatic_outcomes(test, SC)
+        fenced = test.with_fences()
+        for model in (SC, PC, WC, RC):
+            assert axiomatic_outcomes(fenced, model) == sc, model.name
+
+
+# ----------------------------------------------------------------------
 # Memory system as a faithful memory
 # ----------------------------------------------------------------------
 
