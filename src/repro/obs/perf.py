@@ -7,8 +7,9 @@ discipline for *performance* that the golden-number pins give it for
 
 * a **pinned suite** of host-side benchmark cases (the paper examples
   on the detailed simulator, a critical-section contention run, the
-  analytical model, raw coherence ping-pong, a fuzzer budget slice, and
-  a sweep-engine dispatch probe), each measured median-of-N;
+  analytical model, raw coherence ping-pong, a fuzzer budget slice, a
+  batched-vs-scalar fuzz-throughput pair, and a sweep-engine dispatch
+  probe), each measured median-of-N;
 * a **schema-versioned record** (``BENCH_<timestamp>.json``: git sha,
   host info, per-case wall time / KIPS / peak RSS) appended to a
   committed trajectory directory, so every PR leaves a comparable data
@@ -168,6 +169,67 @@ def _case_fuzz_slice(budget: int) -> CaseFn:
     return fn
 
 
+def _batch_fuzz_jobs(seeds: int, models: Sequence[str],
+                     configs: int) -> List[object]:
+    """The fuzzer's conventional simulator legs as a lockstep job list.
+
+    Mirrors what ``python -m repro.verify --backend batched`` hands to
+    the runner: generated litmus tests crossed with consistency models
+    and the harness's default run configs, techniques off (the batch
+    envelope).  Both fuzz throughput cases share this shape so their
+    wall times are directly comparable.
+    """
+    from ..memory.types import CacheConfig
+    from ..sim.batch import BatchJob
+    from ..verify.generator import generate_litmus
+    from ..verify.harness import DEFAULT_RUN_CONFIGS
+
+    jobs: List[object] = []
+    for seed in range(seeds):
+        test = generate_litmus(seed)
+        addresses = test.addresses()
+        nthreads = len(test.threads)
+        for rc in DEFAULT_RUN_CONFIGS[:configs]:
+            skew = tuple(rc.skew[t % len(rc.skew)] for t in range(nthreads))
+            programs, _ = test.to_programs(delays=skew)
+            warm = ()
+            if rc.warm_shared:
+                warm = tuple((cpu, addr, False) for cpu in range(nthreads)
+                             for addr in addresses.values())
+            for model_name in models:
+                jobs.append(BatchJob(
+                    programs=programs, model_name=model_name,
+                    miss_latency=rc.miss_latency,
+                    initial_memory={a: 0 for a in addresses.values()},
+                    warm_lines=warm,
+                    cache=CacheConfig(line_size=rc.line_size),
+                    max_cycles=rc.max_cycles))
+    return jobs
+
+
+def _case_fuzz_jobs(seeds: int, force_scalar: bool) -> CaseFn:
+    """Fuzzer job-list throughput on one runner backend.
+
+    ``items_per_second`` is the headline: simulator legs (tests x
+    models x run configs) completed per second.  Outcomes are consumed
+    the way the fuzz harness does — final cycles and memory words, no
+    stats materialization — so the measured rate is what ``repro.verify
+    --backend batched`` actually sees per chunk.
+    """
+    def fn() -> Dict[str, int]:
+        from ..sim.batch import BatchRunner
+
+        jobs = _batch_fuzz_jobs(seeds, ("SC", "PC", "WC", "RC"), 2)
+        results = BatchRunner(force_scalar=force_scalar).run(jobs)
+        cycles = 0
+        for res in results:
+            if not res.ok:  # pragma: no cover - would be a real bug
+                raise RuntimeError(f"fuzz job errored: {res.error!r}")
+            cycles += res.cycles
+        return {"cycles": cycles, "instructions": 0, "items": len(results)}
+    return fn
+
+
 def _sweep_probe_worker(x: int) -> int:
     # deliberately tiny: the probe measures the sweep engine's own
     # chunking/dispatch overhead, not the work inside the worker
@@ -212,6 +274,19 @@ def default_suite(quick: bool = False) -> List[CaseSpec]:
         CaseSpec("sweep_probe",
                  "parallel sweep engine dispatch overhead (2 worker processes)",
                  _case_sweep_probe(items=64 if quick else 512, jobs=2)),
+        # the lockstep pair runs last: its SoA tables inflate this
+        # process's RSS, which would slow sweep_probe's fork() if it
+        # ran first
+        CaseSpec("fuzz_batched",
+                 "fuzzer simulator legs on the batched lockstep engine "
+                 "(items/s = legs per second)",
+                 _case_fuzz_jobs(seeds=12 if quick else 120,
+                                 force_scalar=False)),
+        CaseSpec("fuzz_scalar_jobs",
+                 "the same fuzzer simulator legs on the scalar kernel "
+                 "(the batched case's throughput baseline)",
+                 _case_fuzz_jobs(seeds=12 if quick else 120,
+                                 force_scalar=True)),
     ]
 
 

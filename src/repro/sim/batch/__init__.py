@@ -1,0 +1,22 @@
+"""Batched lockstep simulation: hundreds of independent runs per clock.
+
+Public surface:
+
+- :class:`~repro.sim.batch.jobs.BatchJob` — one ``run_workload``-shaped
+  simulation description.
+- :class:`~repro.sim.batch.runner.BatchRunner` /
+  :class:`~repro.sim.batch.runner.BatchResult` — run job lists on the
+  struct-of-arrays engine with transparent scalar fallback.
+- :func:`~repro.sim.batch.compile.job_unsupported_reason` — why a job
+  would fall back (None when it batches).
+
+The scalar kernel remains the bit-exact reference; the engine is pinned
+to it lane-for-lane by ``tests/test_batch_differential.py`` and the
+``--backend batched`` conformance mode of ``repro.verify``.
+"""
+
+from .compile import job_unsupported_reason
+from .jobs import BatchJob
+from .runner import BatchResult, BatchRunner
+
+__all__ = ["BatchJob", "BatchResult", "BatchRunner", "job_unsupported_reason"]

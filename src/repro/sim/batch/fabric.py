@@ -1,0 +1,80 @@
+"""Per-lane memory fabric, driven through a simulator shim.
+
+The batched engine vectorizes the *CPU* side only.  Coherence — caches,
+directory, interconnect — is the real :class:`repro.system.fabric.MemoryFabric`,
+one instance per lane, so its behaviour is scalar-identical by
+construction rather than by transliteration.  The fabric only ever uses
+four things from the simulator it is handed (``cycle``, ``stats``,
+``schedule``, ``schedule_at``), which :class:`LaneShim` provides on top
+of the engine's shared clock and a per-lane event namespace.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ...memory.types import LatencyConfig
+from ...sim.stats import StatsRegistry
+from ...sim.trace import NullTraceRecorder
+from ...system.fabric import MemoryFabric
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import BatchEngine
+    from .jobs import BatchJob
+
+
+class LaneShim:
+    """The slice of the :class:`~repro.sim.kernel.Simulator` interface
+    the memory fabric consumes, bound to one lane of the engine.
+
+    Events scheduled through the shim land in the engine's shared heap
+    keyed ``(when, lane, seq)`` with a per-lane monotone sequence
+    number, reproducing the scalar event queue's scheduling-order tie
+    break lane-locally.  During the engine's tick phases, schedules are
+    *staged* and flushed in scalar component order afterwards (see
+    :meth:`BatchEngine._flush_staged`); during event drain they are
+    pushed directly, which matches the scalar ``run_due`` executing
+    same-cycle chained events within the same drain.
+    """
+
+    __slots__ = ("engine", "lane", "stats")
+
+    def __init__(self, engine: "BatchEngine", lane: int) -> None:
+        self.engine = engine
+        self.lane = lane
+        self.stats = StatsRegistry()
+
+    @property
+    def cycle(self) -> int:
+        return self.engine.cycle
+
+    def schedule(self, delay: int, callback, label: str = ""):
+        self.engine.lane_schedule(self.lane, self.engine.cycle + delay, callback)
+        return None
+
+    def schedule_at(self, cycle: int, callback, label: str = ""):
+        if cycle < self.engine.cycle:
+            raise ValueError(
+                f"cannot schedule in the past ({cycle} < {self.engine.cycle})")
+        self.engine.lane_schedule(self.lane, cycle, callback)
+        return None
+
+
+def build_lane_fabric(engine: "BatchEngine", lane: int, job: "BatchJob"):
+    """Real fabric for one lane, warmed exactly like ``run_workload``.
+
+    Returns ``(shim, fabric)`` — the shim owns the lane's stats registry.
+    """
+    shim = LaneShim(engine, lane)
+    fabric = MemoryFabric(
+        shim,
+        num_cpus=job.ncpu,
+        cache_config=job.cache_config(),
+        latencies=LatencyConfig.from_miss_latency(job.miss_latency),
+        trace=NullTraceRecorder(),
+    )
+    if job.initial_memory:
+        fabric.init_memory(job.initial_memory)
+    for cpu, addr, exclusive in job.warm_lines:
+        fabric.warm(cpu, addr, exclusive=exclusive)
+    return shim, fabric

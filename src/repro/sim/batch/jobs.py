@@ -1,0 +1,49 @@
+"""Batch job descriptions for the lockstep engine.
+
+A :class:`BatchJob` captures exactly the arguments of
+:func:`repro.system.machine.run_workload` that the batched backend
+supports, so one job <=> one scalar ``run_workload`` call.  Anything
+the struct-of-arrays engine cannot represent bit-exactly (techniques
+on, branches, non-default processor geometry, ...) is detected by
+:func:`repro.sim.batch.compile.unsupported_reason` and transparently
+routed back to the scalar kernel by the :class:`~repro.sim.batch.runner.BatchRunner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from ...isa.program import Program
+from ...memory.types import CacheConfig
+
+
+@dataclass
+class BatchJob:
+    """One independent simulation: the arguments of ``run_workload``.
+
+    ``model_name`` is the consistency model by name (``"SC"``, ``"PC"``,
+    ``"WC"``, ``"RC"``, ...) so jobs stay picklable for sweep workers.
+    """
+
+    programs: Tuple[Program, ...]
+    model_name: str = "SC"
+    prefetch: bool = False
+    speculation: bool = False
+    miss_latency: int = 100
+    initial_memory: Optional[Dict[int, int]] = None
+    warm_lines: Sequence[Tuple[int, int, bool]] = ()
+    cache: Optional[CacheConfig] = None
+    max_cycles: int = 1_000_000
+    #: opaque caller cookie carried through to the result (job routing)
+    key: object = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        self.programs = tuple(self.programs)
+
+    @property
+    def ncpu(self) -> int:
+        return len(self.programs)
+
+    def cache_config(self) -> CacheConfig:
+        return self.cache if self.cache is not None else CacheConfig()

@@ -48,6 +48,13 @@ from .errors import ConfigurationError
 #: worker signature: one picklable item in, one picklable result out
 SweepWorker = Callable[[Any], Any]
 
+#: chunk-worker signature: a whole chunk of items in, one result per
+#: item out (same order).  Lets a worker amortize shared setup — or
+#: batch the chunk's work onto a vectorized engine — while keeping the
+#: sweep's chunking/ordering/error contract.  A slot may be a
+#: :class:`SweepError` the worker built itself for a failed item.
+ChunkWorker = Callable[[Sequence[Any]], List[Any]]
+
 #: progress callback: (items_done, items_total) -> None, called in the
 #: parent process each time a chunk completes
 ProgressCallback = Callable[[int, int], None]
@@ -224,11 +231,30 @@ def _chunk_indices(total: int, chunk_size: int) -> List[Tuple[int, int]]:
             for start in range(0, total, chunk_size)]
 
 
-def _run_chunk(worker: SweepWorker, start: int, items: Sequence[Any],
-               record_errors: bool) -> Tuple[str, float, List[Any]]:
-    """Executed inside a worker process: map ``worker`` over one chunk."""
+def _run_chunk(worker: Optional[SweepWorker], start: int,
+               items: Sequence[Any], record_errors: bool,
+               chunk_worker: Optional[ChunkWorker] = None,
+               ) -> Tuple[str, float, List[Any]]:
+    """Executed inside a worker process: map ``worker`` over one chunk,
+    or hand the whole chunk to ``chunk_worker`` at once."""
     t0 = time.perf_counter()
-    out: List[Any] = []
+    if chunk_worker is not None:
+        try:
+            out = list(chunk_worker(items))
+        except Exception as exc:  # noqa: BLE001 - reported to the caller
+            if not record_errors:
+                raise
+            out = [SweepError(item_index=start + offset,
+                              error_type=type(exc).__name__,
+                              message=str(exc))
+                   for offset in range(len(items))]
+        if len(out) != len(items):
+            raise ConfigurationError(
+                f"chunk worker returned {len(out)} result(s) for "
+                f"{len(items)} item(s)")
+        return f"pid{os.getpid()}", time.perf_counter() - t0, out
+    assert worker is not None
+    out = []
     for offset, item in enumerate(items):
         if record_errors:
             try:
@@ -251,13 +277,14 @@ def default_chunk_size(total: int, jobs: int) -> int:
 
 
 def run_sweep(
-    worker: SweepWorker,
+    worker: Optional[SweepWorker],
     items: Sequence[Any],
     jobs: int = 1,
     chunk_size: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
     telemetry: Optional[TelemetryCallback] = None,
     on_error: str = "raise",
+    chunk_worker: Optional[ChunkWorker] = None,
 ) -> SweepResult:
     """Map ``worker`` over ``items``, optionally across processes.
 
@@ -268,12 +295,22 @@ def run_sweep(
     a chunk completes.  ``on_error`` is ``"raise"`` (default) or
     ``"record"`` (failing items yield :class:`SweepError` result slots
     instead of aborting the sweep).
+
+    ``chunk_worker``, when given, replaces the per-item ``worker``: each
+    chunk is handed to it whole and it returns one result per item in
+    order (the batched fuzz harness uses this to run a chunk's
+    simulations in one lockstep engine).  With ``on_error="record"`` a
+    raise from the chunk worker marks every item of that chunk as a
+    :class:`SweepError`; for per-item granularity the chunk worker can
+    place :class:`SweepError` values in individual result slots itself.
     """
     if on_error not in ("raise", "record"):
         raise ConfigurationError(
             f"on_error must be 'raise' or 'record', got {on_error!r}")
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if worker is None and chunk_worker is None:
+        raise ConfigurationError("either worker or chunk_worker is required")
     items = list(items)
     total = len(items)
     record = on_error == "record"
@@ -326,7 +363,7 @@ def run_sweep(
     if jobs == 1 or total <= 1:
         for start, stop in ranges:
             worker_id, busy, chunk_results = _run_chunk(
-                worker, start, items[start:stop], record)
+                worker, start, items[start:stop], record, chunk_worker)
             account("serial", busy, start, stop, chunk_results)
         return SweepResult(results=slots,
                            elapsed_seconds=time.perf_counter() - t0,
@@ -334,7 +371,8 @@ def run_sweep(
 
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         pending = {
-            pool.submit(_run_chunk, worker, start, items[start:stop], record):
+            pool.submit(_run_chunk, worker, start, items[start:stop], record,
+                        chunk_worker):
             (start, stop)
             for start, stop in ranges
         }

@@ -4,6 +4,7 @@ Typical runs::
 
     python -m repro.verify --budget 200 --jobs 4 --seed 0
     python -m repro.verify --budget 2000 --oracle axiomatic   # static only
+    python -m repro.verify --budget 500 --backend batched     # lockstep sim
     python -m repro.verify --suite --oracle all               # named suite
     python -m repro.verify --budget 50 --fault slb-deaf --corpus out.json
     python -m repro.verify --replay out.json
@@ -37,12 +38,14 @@ from .corpus import (
 )
 from .generator import GeneratorConfig, generate_litmus
 from .harness import (
+    BACKENDS,
     FAULTS,
     ORACLE_MODES,
     CheckResult,
     HarnessConfig,
     check_named,
     check_seed,
+    check_seed_chunk,
 )
 from .minimize import minimize
 
@@ -72,6 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "enumerator), axiomatic (enumerator vs "
                              "declarative checker, no simulation), or all "
                              "(default)")
+    parser.add_argument("--backend", choices=BACKENDS, default="scalar",
+                        help="simulator-leg backend: scalar (one machine "
+                             "per run) or batched (lockstep SoA engine; "
+                             "bit-identical outcomes, much higher "
+                             "throughput)")
     parser.add_argument("--suite", action="store_true",
                         help="check the named litmus suite instead of "
                              "fuzzing (--budget/--seed are ignored)")
@@ -119,7 +127,8 @@ def run_fuzz(budget: int, jobs: int, seed: int,
              telemetry: bool = False,
              generator: Optional[GeneratorConfig] = None,
              oracle: str = "all",
-             suite: bool = False) -> int:
+             suite: bool = False,
+             backend: str = "scalar") -> int:
     """Fuzz ``budget`` seeds (or sweep the named suite); returns the
     process exit status.
 
@@ -130,9 +139,11 @@ def run_fuzz(budget: int, jobs: int, seed: int,
     """
     gen_config = generator if generator is not None else GeneratorConfig()
     options: Dict[str, object] = {"generator": gen_config.to_dict(),
-                                  "oracle": oracle}
+                                  "oracle": oracle,
+                                  "backend": backend}
     if fault is not None:
         options["fault"] = fault
+    chunk_worker = None
     if suite:
         names = sorted(STANDARD_TESTS)
         items = [(i, name, options) for i, name in enumerate(names)]
@@ -143,11 +154,16 @@ def run_fuzz(budget: int, jobs: int, seed: int,
                  for i in range(budget)]
         worker = check_seed  # type: ignore[assignment]
         total = budget
+        if backend == "batched":
+            # batch a whole chunk's simulator legs into one lockstep
+            # engine — per-test batches are too small to amortize
+            chunk_worker = check_seed_chunk
 
     meter = ProgressMeter(label="verify") if telemetry and not quiet else None
     sweep = run_sweep(worker, items, jobs=jobs, chunk_size=chunk_size,
                       progress=None if meter else _progress_printer(quiet),
-                      telemetry=meter, on_error="record")
+                      telemetry=meter, on_error="record",
+                      chunk_worker=chunk_worker)
     if meter is not None:
         meter.finish()
 
@@ -165,7 +181,7 @@ def run_fuzz(budget: int, jobs: int, seed: int,
     if not quiet:
         print(sweep.describe())
         print(f"  {total_runs} simulator run(s) across {total} test(s) "
-              f"[oracle={oracle}]")
+              f"[oracle={oracle}, backend={backend}]")
 
     corpus = Corpus()
     for failure in failures:
@@ -185,7 +201,8 @@ def run_fuzz(budget: int, jobs: int, seed: int,
         minimized_dict = None
         if do_minimize:
             shrink = minimize(test,
-                              config=HarnessConfig(fault=fault, oracle=oracle))
+                              config=HarnessConfig(fault=fault, oracle=oracle,
+                                                   backend=backend))
             minimized_dict = litmus_to_dict(shrink.test)
             print(f"  {shrink.describe()}")
             for tid, thread in enumerate(shrink.test.threads):
@@ -254,6 +271,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         telemetry=args.progress,
         oracle=args.oracle,
         suite=args.suite,
+        backend=args.backend,
     )
 
 

@@ -46,6 +46,14 @@ MODEL_NAMES: Tuple[str, ...] = ("SC", "PC", "WC", "RC")
 #: which oracle legs the harness runs — see the module docstring
 ORACLE_MODES: Tuple[str, ...] = ("sim", "axiomatic", "all")
 
+#: how the simulator leg executes: one scalar machine per run, or the
+#: lockstep batched engine stepping every (model, technique, config)
+#: leg of a test at once (``repro.sim.batch``).  The batched engine is
+#: bit-exact within its envelope and falls back to the scalar kernel
+#: per job outside it, so the observed outcomes are identical either
+#: way — the differential suite pins that down.
+BACKENDS: Tuple[str, ...] = ("scalar", "batched")
+
 #: (prefetch, speculation) combinations the harness drives
 TECHNIQUE_COMBOS: Tuple[Tuple[bool, bool], ...] = (
     (False, False),
@@ -96,6 +104,8 @@ class HarnessConfig:
     fault: Optional[str] = None
     #: which oracle legs to run: "sim", "axiomatic", or "all"
     oracle: str = "all"
+    #: simulator-leg execution backend: "scalar" or "batched"
+    backend: str = "scalar"
 
 
 @dataclass(frozen=True)
@@ -261,13 +271,36 @@ def check_test(test: LitmusTest, config: HarnessConfig = HarnessConfig(),
     never touches the simulator, so it fuzzes orders of magnitude more
     tests per second.
     """
+    _validate(config)
+    if config.fault is not None:
+        apply_fault(config.fault)
+    out = CheckResult(index=index, seed=seed, test_name=test.name)
+    reference, axiomatic = _static_oracles(test, config, out)
+    if config.oracle in ("sim", "all"):
+        legs = _sim_legs(config)
+        outcomes = _observed_outcomes(test, legs, config.backend)
+        _classify_outcomes(test, out, legs, outcomes, reference, axiomatic)
+    return out
+
+
+def _validate(config: HarnessConfig) -> None:
     if config.oracle not in ORACLE_MODES:
         raise ConfigurationError(
             f"unknown oracle mode {config.oracle!r}; "
             f"available: {ORACLE_MODES}")
-    if config.fault is not None:
-        apply_fault(config.fault)
-    out = CheckResult(index=index, seed=seed, test_name=test.name)
+    if config.backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend {config.backend!r}; available: {BACKENDS}")
+
+
+def _static_oracles(
+        test: LitmusTest, config: HarnessConfig, out: CheckResult,
+) -> Tuple[Dict[str, FrozenSet[Outcome]], Dict[str, FrozenSet[Outcome]]]:
+    """Run the static legs: enumerator always, axioms when selected.
+
+    Returns the per-model permitted sets and appends any
+    :class:`OracleDisagreement` onto ``out``.
+    """
     reference: Dict[str, FrozenSet[Outcome]] = {}
     for model_name in config.models:
         reference[model_name] = test.outcomes(get_model(model_name))
@@ -288,42 +321,130 @@ def check_test(test: LitmusTest, config: HarnessConfig = HarnessConfig(),
                     extra=tuple(sorted(
                         axiomatic[model_name] - reference[model_name])),
                 ))
+    return reference, axiomatic
 
-    if config.oracle not in ("sim", "all"):
-        return out
-    for model_name in config.models:
+
+def _sim_legs(config: HarnessConfig) -> List[Tuple[str, bool, bool, RunConfig]]:
+    """The simulator sweep's (model, prefetch, speculation, config) axis."""
+    return [(model_name, prefetch, speculation, run_config)
+            for model_name in config.models
+            for prefetch, speculation in config.techniques
+            for run_config in config.run_configs]
+
+
+def _classify_outcomes(test: LitmusTest, out: CheckResult,
+                       legs: Sequence[Tuple[str, bool, bool, RunConfig]],
+                       outcomes: Sequence[Outcome],
+                       reference: Dict[str, FrozenSet[Outcome]],
+                       axiomatic: Dict[str, FrozenSet[Outcome]]) -> None:
+    """Check each observed outcome against the oracle sets."""
+    for (model_name, prefetch, speculation, run_config), observed in zip(
+            legs, outcomes):
         permitted = reference[model_name]
         ax_permitted = axiomatic.get(model_name)
-        for prefetch, speculation in config.techniques:
-            for run_config in config.run_configs:
-                observed = observed_outcome(test, model_name, prefetch,
-                                            speculation, run_config)
-                out.num_runs += 1
-                if observed not in permitted:
-                    out.divergences.append(Divergence(
-                        test_name=test.name,
-                        model=model_name,
-                        prefetch=prefetch,
-                        speculation=speculation,
-                        config_name=run_config.name,
-                        observed=observed,
-                        permitted_count=len(permitted),
-                        oracle="enumerator",
-                    ))
-                elif ax_permitted is not None and observed not in ax_permitted:
-                    # only reachable while the static oracles disagree:
-                    # the simulator sided with the enumerator
-                    out.divergences.append(Divergence(
-                        test_name=test.name,
-                        model=model_name,
-                        prefetch=prefetch,
-                        speculation=speculation,
-                        config_name=run_config.name,
-                        observed=observed,
-                        permitted_count=len(ax_permitted),
-                        oracle="axiomatic",
-                    ))
-    return out
+        out.num_runs += 1
+        if observed not in permitted:
+            out.divergences.append(Divergence(
+                test_name=test.name,
+                model=model_name,
+                prefetch=prefetch,
+                speculation=speculation,
+                config_name=run_config.name,
+                observed=observed,
+                permitted_count=len(permitted),
+                oracle="enumerator",
+            ))
+        elif ax_permitted is not None and observed not in ax_permitted:
+            # only reachable while the static oracles disagree:
+            # the simulator sided with the enumerator
+            out.divergences.append(Divergence(
+                test_name=test.name,
+                model=model_name,
+                prefetch=prefetch,
+                speculation=speculation,
+                config_name=run_config.name,
+                observed=observed,
+                permitted_count=len(ax_permitted),
+                oracle="axiomatic",
+            ))
+
+
+def _observed_outcomes(
+        test: LitmusTest,
+        legs: Sequence[Tuple[str, bool, bool, RunConfig]],
+        backend: str) -> List[Outcome]:
+    """Observed outcome per leg, in leg order, on the chosen backend.
+
+    The batched path turns every leg into a :class:`BatchJob` and lets
+    the :class:`~repro.sim.batch.runner.BatchRunner` step them in
+    lockstep; legs outside the batch envelope (techniques on) fall back
+    to the scalar kernel inside the runner, so the returned outcomes
+    are identical to the scalar path's — only faster.  A lane that
+    deadlocks raises the same :class:`~repro.sim.errors.DeadlockError`
+    a scalar run would.
+    """
+    if backend == "scalar":
+        return [observed_outcome(test, model_name, prefetch, speculation,
+                                 run_config)
+                for model_name, prefetch, speculation, run_config in legs]
+    if backend != "batched":
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; available: {BACKENDS}")
+    from ..sim.batch import BatchRunner
+
+    jobs, audit_maps = _legs_to_jobs(test, legs)
+    return [_job_outcome(res, audit_map)
+            for res, audit_map in zip(BatchRunner().run(jobs), audit_maps)]
+
+
+def _legs_to_jobs(
+        test: LitmusTest,
+        legs: Sequence[Tuple[str, bool, bool, RunConfig]],
+) -> Tuple[List[object], List[Dict[str, int]]]:
+    """One :class:`~repro.sim.batch.jobs.BatchJob` (plus its audit map)
+    per leg, mirroring :func:`observed_outcome`'s setup exactly."""
+    from ..sim.batch import BatchJob
+
+    addresses = test.addresses()
+    nthreads = len(test.threads)
+    initial_memory = {addr: 0 for addr in addresses.values()}
+    programs_by_skew: Dict[Tuple[int, ...], tuple] = {}
+    jobs: List[object] = []
+    audit_maps: List[Dict[str, int]] = []
+    for model_name, prefetch, speculation, run_config in legs:
+        skew = tuple(run_config.skew[t % len(run_config.skew)]
+                     for t in range(nthreads))
+        cached = programs_by_skew.get(skew)
+        if cached is None:
+            # program objects are shared across models/techniques so the
+            # runner's per-program compile memoization can kick in
+            cached = programs_by_skew[skew] = test.to_programs(delays=skew)
+        programs, audit_map = cached
+        warm: Tuple[Tuple[int, int, bool], ...] = ()
+        if run_config.warm_shared:
+            warm = tuple((cpu, addr, False)
+                         for cpu in range(nthreads)
+                         for addr in addresses.values())
+        jobs.append(BatchJob(
+            programs=programs,
+            model_name=model_name,
+            prefetch=prefetch,
+            speculation=speculation,
+            miss_latency=run_config.miss_latency,
+            initial_memory=initial_memory,
+            warm_lines=warm,
+            cache=CacheConfig(line_size=run_config.line_size),
+            max_cycles=run_config.max_cycles,
+        ))
+        audit_maps.append(audit_map)
+    return jobs, audit_maps
+
+
+def _job_outcome(res, audit_map: Dict[str, int]) -> Outcome:
+    """Read one job's final registers (raising what a scalar run would)."""
+    res.raise_if_error()
+    return tuple(sorted(
+        (reg, res.read_word(slot)) for reg, slot in audit_map.items()))
 
 
 def divergence_reproduces(test: LitmusTest,
@@ -352,9 +473,80 @@ def check_seed(item: Tuple[int, int, Dict[str, object]]) -> CheckResult:
     harness = HarnessConfig(
         fault=options.get("fault"),  # type: ignore[arg-type]
         oracle=str(options.get("oracle", "all")),
+        backend=str(options.get("backend", "scalar")),
     )
     test = generate_litmus(seed, gen_config)
     return check_test(test, harness, index=index, seed=seed)
+
+
+def check_seed_chunk(
+        items: Sequence[Tuple[int, int, Dict[str, object]]]) -> List[object]:
+    """Chunk-level fuzz worker: one lockstep batch across *every* test.
+
+    :func:`check_seed` with ``backend="batched"`` only batches the legs
+    of a single test (typically 16 lanes) — too few for the SoA engine
+    to amortize its per-step vector cost.  This worker instead collects
+    the simulator legs of an entire sweep chunk into **one**
+    :class:`~repro.sim.batch.runner.BatchRunner` call (hundreds to
+    thousands of lanes), which is where the batched engine's throughput
+    comes from.  Results are per-item :class:`CheckResult` objects in
+    item order, with per-item failures recorded as
+    :class:`~repro.sim.sweep.SweepError` slots — exactly what
+    ``run_sweep(..., chunk_worker=check_seed_chunk, on_error="record")``
+    expects.
+    """
+    from ..sim.batch import BatchRunner
+    from ..sim.sweep import SweepError
+    from .generator import GeneratorConfig, generate_litmus
+
+    results: List[object] = []
+    all_jobs: List[object] = []
+    # (slot, test, out, legs, audit_maps, reference, axiomatic, job_lo)
+    pending: List[tuple] = []
+    for item in items:
+        index, seed, options = item
+        try:
+            gen_config = GeneratorConfig.from_dict(
+                dict(options.get("generator", {})))  # type: ignore[arg-type]
+            harness = HarnessConfig(
+                fault=options.get("fault"),  # type: ignore[arg-type]
+                oracle=str(options.get("oracle", "all")),
+                backend="batched",
+            )
+            _validate(harness)
+            if harness.fault is not None:
+                apply_fault(harness.fault)
+            test = generate_litmus(seed, gen_config)
+            out = CheckResult(index=index, seed=seed, test_name=test.name)
+            reference, axiomatic = _static_oracles(test, harness, out)
+            results.append(out)
+            if harness.oracle in ("sim", "all"):
+                legs = _sim_legs(harness)
+                jobs, audit_maps = _legs_to_jobs(test, legs)
+                pending.append((len(results) - 1, test, out, legs,
+                                audit_maps, reference, axiomatic,
+                                len(all_jobs)))
+                all_jobs.extend(jobs)
+        except Exception as exc:  # noqa: BLE001 - mirrors _run_chunk
+            results.append(SweepError(item_index=index,
+                                      error_type=type(exc).__name__,
+                                      message=str(exc)))
+
+    batch_results = BatchRunner().run(all_jobs) if all_jobs else []
+    for (slot, test, out, legs, audit_maps, reference, axiomatic,
+         job_lo) in pending:
+        try:
+            outcomes = [
+                _job_outcome(res, audit_map)
+                for res, audit_map in zip(
+                    batch_results[job_lo:job_lo + len(legs)], audit_maps)]
+            _classify_outcomes(test, out, legs, outcomes, reference,
+                               axiomatic)
+        except Exception as exc:  # noqa: BLE001 - per-item containment
+            results[slot] = SweepError(item_index=out.index,
+                                       error_type=type(exc).__name__,
+                                       message=str(exc))
+    return results
 
 
 def check_named(item: Tuple[int, str, Dict[str, object]]) -> CheckResult:
@@ -374,5 +566,6 @@ def check_named(item: Tuple[int, str, Dict[str, object]]) -> CheckResult:
     harness = HarnessConfig(
         fault=options.get("fault"),  # type: ignore[arg-type]
         oracle=str(options.get("oracle", "all")),
+        backend=str(options.get("backend", "scalar")),
     )
     return check_test(STANDARD_TESTS[name](), harness, index=index, seed=0)

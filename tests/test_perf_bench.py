@@ -217,6 +217,24 @@ class TestHarness:
         assert len(loaded) == 1
         assert loaded[0][1]["cases"].keys() == record["cases"].keys()
 
+    def test_fuzz_throughput_pair_pinned_in_suite(self):
+        # the batched fuzz case and its scalar twin must stay paired:
+        # the performance story (docs/performance.md) is their ratio,
+        # which only means something if both run the same job shape
+        names = [case.name for case in default_suite(quick=True)]
+        assert "fuzz_batched" in names
+        assert "fuzz_scalar_jobs" in names
+
+    def test_fuzz_batched_case_runs_and_counts_legs(self):
+        from repro.obs.perf import _batch_fuzz_jobs, _case_fuzz_jobs
+
+        # 2 seeds x 4 models x 2 run configs = 16 simulator legs
+        expected = len(_batch_fuzz_jobs(2, ("SC", "PC", "WC", "RC"), 2))
+        assert expected == 16
+        work = _case_fuzz_jobs(seeds=2, force_scalar=False)()
+        assert work["items"] == expected
+        assert work["cycles"] > 0
+
     def test_load_trajectory_skips_invalid_and_excluded(self, tmp_path):
         good = write_record(_fake_record({"a": 1.0}), str(tmp_path))
         (tmp_path / "BENCH_bad.json").write_text("{not json")
