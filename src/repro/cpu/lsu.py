@@ -454,7 +454,8 @@ class LoadStoreUnit:
             if op.is_rmw:
                 self.slb.mark_done(op.seq)
         self.trace.record(self.sim.cycle, self.name, "store_complete",
-                          tag=op.tag, seq=op.seq, addr=op.addr)
+                          tag=op.tag, seq=op.seq, addr=op.addr,
+                          value=value, rmw=op.is_rmw)
 
     # -- loads -------------------------------------------------------------
     def _issue_loads(self, cycle: int) -> None:

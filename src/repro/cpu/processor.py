@@ -210,11 +210,16 @@ class Processor(Component):
             self.rob.retire_head()
             self.stat_retired.inc()
             if self.trace.enabled:
+                acq = getattr(instr, "is_acquire", False)
+                rel = getattr(instr, "is_release", False)
+                sync = {(True, True): "full", (True, False): "acquire",
+                        (False, True): "release"}.get((acq, rel))
+                extra = {"sync": sync} if sync else {}
                 self.trace.record(
                     cycle, self.name, "retire",
                     seq=head.seq, pc=head.pc,
                     op=type(instr).__name__.lower(),
-                    bound=head.value is not None)
+                    bound=head.value is not None, **extra)
             if head.dst is not None and head.value is not None:
                 self.regfile.write(head.dst, head.value)
             if isinstance(instr, Halt):

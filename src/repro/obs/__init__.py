@@ -5,8 +5,11 @@ package reproduces that accounting on the detailed simulator and adds
 the modern tooling around it — per-cause cycle blame
 (:mod:`~repro.obs.accounting`), prefetch/speculation effectiveness
 counters (:mod:`~repro.obs.effectiveness`), streaming JSONL traces
-(:mod:`~repro.obs.jsonl`) and Chrome/Perfetto timeline export
-(:mod:`~repro.obs.perfetto`).  ``python -m repro.obs`` is the CLI.
+(:mod:`~repro.obs.jsonl`), Chrome/Perfetto timeline export
+(:mod:`~repro.obs.perfetto`), the canonical backend-agnostic
+architectural event stream (:mod:`~repro.obs.archtrace`) and its
+first-divergence differ (:mod:`~repro.obs.diff`).
+``python -m repro.obs`` is the CLI.
 
 Import discipline: this package is imported by the processor core, so
 only modules that depend on nothing above ``repro.sim`` are pulled in
@@ -33,33 +36,54 @@ from .effectiveness import (
     render_effectiveness,
     speculation_effectiveness,
 )
+from .archtrace import (
+    ARCHTRACE_VERSION,
+    ArchEvent,
+    ArchTraceCollector,
+    ArchTraceReader,
+    TeeTrace,
+    derive_arch_event,
+    read_archtrace,
+)
+from .diff import DivergenceReport, diff_archtraces
 from .jsonl import JsonlTraceRecorder, read_jsonl, write_jsonl
 from .perfetto import (
     export_chrome_trace,
     to_trace_events,
+    trace_warnings,
     validate_trace_events,
     validate_trace_file,
 )
 
 __all__ = [
+    "ARCHTRACE_VERSION",
+    "ArchEvent",
+    "ArchTraceCollector",
+    "ArchTraceReader",
     "CAUSES",
     "PAPER_CAUSES",
     "CycleAccountant",
     "CycleBreakdown",
+    "DivergenceReport",
     "JsonlTraceRecorder",
     "PrefetchEffectiveness",
     "SpeculationEffectiveness",
     "StallCause",
+    "TeeTrace",
     "breakdown_from_stats",
+    "derive_arch_event",
+    "diff_archtraces",
     "export_chrome_trace",
     "machine_breakdown",
     "per_cpu_breakdowns",
     "prefetch_effectiveness",
+    "read_archtrace",
     "read_jsonl",
     "render_breakdown",
     "render_effectiveness",
     "speculation_effectiveness",
     "to_trace_events",
+    "trace_warnings",
     "validate_trace_events",
     "validate_trace_file",
     "write_jsonl",

@@ -6,6 +6,8 @@ Subcommands::
                    the stall-breakdown matrix (Figures 3-7 presentation)
     convert        turn a JSONL trace dump into a Chrome/Perfetto JSON file
     validate       structurally check a trace_event JSON file (CI gate)
+    diff           compare two archtrace JSONL streams and report the
+                   first divergent architectural event
     bench          run the pinned host-performance suite and emit a
                    BENCH_<timestamp>.json record (optionally gate on it)
     bench-check    compare an existing BENCH record against the trajectory
@@ -16,6 +18,7 @@ Examples::
     python -m repro.obs breakdown example2 --normalize --jobs 4
     python -m repro.obs convert run.jsonl run.trace.json
     python -m repro.obs validate run.trace.json
+    python -m repro.obs diff a.archtrace.jsonl b.archtrace.jsonl
     python -m repro.obs bench --quick
     python -m repro.obs bench-check bench/BENCH_20260805T120000Z.json
 """
@@ -27,7 +30,11 @@ import json
 import sys
 from typing import List, Optional
 
-from .perfetto import export_chrome_trace, validate_trace_file
+from .perfetto import (
+    export_chrome_trace,
+    trace_file_warnings,
+    validate_trace_file,
+)
 
 
 def _cmd_breakdown(args: argparse.Namespace) -> int:
@@ -77,9 +84,22 @@ def _cmd_validate(args: argparse.Namespace) -> int:
                 print(f"  {err}")
             if len(errors) > args.max_errors:
                 print(f"  ... and {len(errors) - args.max_errors} more")
-        else:
+            continue
+        warnings = trace_file_warnings(path)
+        for warning in warnings:
+            print(f"{path}: WARNING: {warning}")
+        if not warnings:
             print(f"{path}: ok")
+        else:
+            print(f"{path}: ok (with warnings)")
     return status
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from .diff import diff_main
+
+    return diff_main(args.trace_a, args.trace_b, context=args.context,
+                     as_json=args.json)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -223,6 +243,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("files", nargs="+", help="trace_event JSON files")
     p.add_argument("--max-errors", type=int, default=20)
     p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("diff",
+                       help="first-divergence diff of two archtrace "
+                            "JSONL streams (exit 1 when they diverge)")
+    p.add_argument("trace_a", help="reference archtrace (--archtrace output)")
+    p.add_argument("trace_b", help="subject archtrace")
+    p.add_argument("--context", type=int, default=5,
+                   help="events of context around the divergence "
+                        "(default 5)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the DivergenceReport as JSON instead of text")
+    p.set_defaults(func=_cmd_diff)
 
     p = sub.add_parser("bench",
                        help="run the pinned host-performance suite and "

@@ -102,8 +102,17 @@ def _args(detail: Dict[str, Any]) -> Dict[str, Any]:
 def to_trace_events(
     trace: Union[TraceRecorder, List[TraceEvent]],
     label: str = "repro",
+    breakdowns: Any = None,
 ) -> Dict[str, Any]:
-    """Convert a recorded trace to a trace_event JSON object."""
+    """Convert a recorded trace to a trace_event JSON object.
+
+    ``breakdowns`` (optional) is the run's per-CPU CycleAccountant
+    blame — :class:`~repro.obs.accounting.CycleBreakdown` objects or
+    plain ``{cause: cycles}`` dicts, one per CPU — rendered as a
+    Perfetto counter track (``ph: "C"``) per CPU.  The accountant
+    records whole-run totals, not a time series, so the track ramps
+    from zero to the final attribution over the trace span.
+    """
     events = trace.events if isinstance(trace, TraceRecorder) else list(trace)
     out: List[Dict[str, Any]] = []
     pids_seen: Dict[int, None] = {}
@@ -158,6 +167,18 @@ def to_trace_events(
               "args": _args({**opener.detail, "unterminated": True})},
              pid, slice_tid(kind, tid))
 
+    if breakdowns:
+        for cpu, bd in enumerate(breakdowns):
+            causes = bd if isinstance(bd, dict) else bd.as_dict()
+            totals = {str(cause): int(cycles)
+                      for cause, cycles in sorted(causes.items())}
+            if not totals:
+                continue
+            emit({"name": "cycle_blame", "ph": "C", "ts": 0, "cat": "blame",
+                  "args": {cause: 0 for cause in totals}}, cpu, TID_CORE)
+            emit({"name": "cycle_blame", "ph": "C", "ts": last_cycle,
+                  "cat": "blame", "args": totals}, cpu, TID_CORE)
+
     meta: List[Dict[str, Any]] = []
     for pid in sorted(pids_seen):
         name = "fabric" if pid == FABRIC_PID else f"cpu{pid}"
@@ -169,10 +190,17 @@ def to_trace_events(
         meta.append({"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
                      "args": {"name": tname}})
 
+    other: Dict[str, Any] = {"exporter": label, "cycles_per_us": 1}
+    if isinstance(trace, TraceRecorder):
+        dropped = getattr(trace, "dropped", 0)
+        other["dropped"] = int(dropped)
+        other["max_events"] = getattr(trace, "max_events", None)
+        other["truncated"] = bool(dropped)
+
     return {
         "traceEvents": meta + out,
         "displayTimeUnit": "ms",
-        "otherData": {"exporter": label, "cycles_per_us": 1},
+        "otherData": other,
     }
 
 
@@ -180,9 +208,10 @@ def export_chrome_trace(
     trace: Union[TraceRecorder, List[TraceEvent]],
     path: str,
     label: str = "repro",
+    breakdowns: Any = None,
 ) -> Dict[str, Any]:
     """Convert and write a trace; returns the converted object."""
-    obj = to_trace_events(trace, label=label)
+    obj = to_trace_events(trace, label=label, breakdowns=breakdowns)
     with open(path, "w") as fh:
         json.dump(obj, fh, indent=None, separators=(",", ":"))
         fh.write("\n")
@@ -197,6 +226,7 @@ _REQUIRED: Dict[str, Tuple[str, ...]] = {
     "X": ("name", "ts", "dur", "pid", "tid"),
     "i": ("name", "ts", "pid", "tid"),
     "M": ("name", "pid", "args"),
+    "C": ("name", "ts", "pid", "tid", "args"),
 }
 
 
@@ -236,6 +266,28 @@ def validate_trace_events(obj: Any) -> List[str]:
     return errors
 
 
+def trace_warnings(obj: Any) -> List[str]:
+    """Non-fatal completeness warnings for a (structurally valid) trace.
+
+    A trace recorded through the bounded ring buffer (``--trace-limit``)
+    may have dropped its oldest events; the exporter records that in
+    ``otherData`` and this reports it, so CI and triage know the
+    timeline is a suffix of the run, not the whole run.
+    """
+    warnings: List[str] = []
+    other = obj.get("otherData") if isinstance(obj, dict) else None
+    if not isinstance(other, dict):
+        return warnings
+    dropped = other.get("dropped", 0)
+    if other.get("truncated") or dropped:
+        limit = other.get("max_events")
+        warnings.append(
+            f"trace is incomplete: ring buffer dropped {dropped} oldest "
+            f"event(s)"
+            + (f" (--trace-limit {limit})" if limit else ""))
+    return warnings
+
+
 def validate_trace_file(path: str) -> List[str]:
     """Validate a trace_event JSON file; returns problems (empty = ok)."""
     try:
@@ -244,3 +296,15 @@ def validate_trace_file(path: str) -> List[str]:
     except (OSError, json.JSONDecodeError) as exc:
         return [f"{path}: {exc}"]
     return validate_trace_events(obj)
+
+
+def trace_file_warnings(path: str) -> List[str]:
+    """Completeness warnings for a trace_event JSON file (see
+    :func:`trace_warnings`); unreadable files report no warnings —
+    the validator owns hard errors."""
+    try:
+        with open(path) as fh:
+            obj = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return []
+    return trace_warnings(obj)

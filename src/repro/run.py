@@ -102,6 +102,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--trace-jsonl", metavar="FILE",
                         help="stream every trace event to FILE as JSONL "
                              "(implies tracing)")
+    parser.add_argument("--archtrace", metavar="FILE",
+                        help="write the canonical architectural event "
+                             "stream (retires, load/store/RMW values, "
+                             "coherence transitions, squashes) as JSONL "
+                             "for `python -m repro.obs diff`; does not "
+                             "disable the kernel fast path")
     parser.add_argument("--trace-limit", type=int, metavar="N",
                         default=TraceRecorder.DEFAULT_BATCH_MAX_EVENTS,
                         help="keep at most N trace events in memory "
@@ -152,6 +158,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             trace = JsonlTraceRecorder(args.trace_jsonl, max_events=limit)
         else:
             trace = TraceRecorder(max_events=limit)
+    archtrace = None
+    sink = trace
+    if args.archtrace:
+        from .obs.archtrace import ArchTraceCollector, TeeTrace
+        archtrace = ArchTraceCollector(
+            max_events=None if args.trace_limit <= 0 else args.trace_limit)
+        sink = archtrace if trace is None else TeeTrace(trace, archtrace)
     profiler = None
     if args.profile or args.progress:
         from .sim.profiler import HostHeartbeat, HostProfiler
@@ -172,7 +185,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         initial_memory=initial_memory,
         warm_lines=warm_lines,
         max_cycles=args.max_cycles,
-        trace=trace,
+        trace=sink,
         profile=profiler if profiler is not None else False,
     )
 
@@ -212,7 +225,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"statistics written to {args.stats_json}")
     if args.perfetto and trace is not None:
         from .obs.perfetto import export_chrome_trace
-        obj = export_chrome_trace(trace, args.perfetto)
+        obj = export_chrome_trace(trace, args.perfetto,
+                                  breakdowns=result.breakdowns())
         dropped = f" ({trace.dropped} dropped)" if trace.dropped else ""
         print(f"perfetto trace written to {args.perfetto} "
               f"({len(obj['traceEvents'])} event(s){dropped})")
@@ -220,6 +234,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         trace.close()
         print(f"jsonl trace written to {args.trace_jsonl} "
               f"({trace.streamed} event(s))")
+    if archtrace is not None:
+        watched = sorted({int(a, 0) for a in args.watch}
+                         | set(initial_memory))
+        archtrace.finalize(
+            cycles=result.cycles,
+            final_memory={a: result.machine.read_word(a) for a in watched},
+            breakdowns=result.breakdowns())
+        count = archtrace.write_jsonl(
+            args.archtrace, backend="scalar",
+            label=f"{args.model.upper()} prefetch={args.prefetch} "
+                  f"speculation={args.speculation}")
+        dropped = (f" ({archtrace.dropped} dropped)"
+                   if archtrace.dropped else "")
+        print(f"archtrace written to {args.archtrace} "
+              f"({count} event(s){dropped})")
     if args.sanitize and trace is not None:
         from .analysis.static import sanitize_trace
         report = sanitize_trace(trace, model=model)

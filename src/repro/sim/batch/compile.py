@@ -92,6 +92,9 @@ class CompiledProgram:
     #: access classes per memop — kept on the model-independent core so
     #: specialize_model can rebuild block/sbblock for another model
     m_klass: Tuple = ()
+    #: per-pc archtrace sync annotation: 0 none, 1 acquire, 2 release,
+    #: 3 full (indexes :data:`repro.obs.archtrace.SYNC_NAMES`)
+    sync: Optional[np.ndarray] = None
 
 
 def unsupported_reason(instr_lists, model: ConsistencyModel) -> Optional[str]:
@@ -174,6 +177,7 @@ def compile_core(program: Program) -> CompiledProgram:
     aidx = np.full(n, -1, dtype=np.int16)
     headcause = np.full(n, -1, dtype=np.int8)
     value = np.zeros(n, dtype=np.int64)
+    sync = np.zeros(n, dtype=np.int8)
 
     regs: Dict[str, Tuple[Optional[int], Optional[int], str]] = {}
     mem: List[dict] = []
@@ -205,6 +209,8 @@ def compile_core(program: Program) -> CompiledProgram:
             _write(regs, instr.dst, result, pc, "alu")
             continue
         # memory
+        sync[pc] = ((1 if instr.is_acquire else 0)
+                    | (2 if instr.is_release else 0))
         klass = classify(instr)
         base_val, base_prod, _bk = _read(regs, instr.base)
         m = {
@@ -281,6 +287,7 @@ def compile_core(program: Program) -> CompiledProgram:
         m_tag=tuple(m["tag"] for m in mem),
         a_pc=a_pc, a_ready0=False, a_init_ready=init_ready, a_depmask=a_depmask,
         m_klass=tuple(m["klass"] for m in mem),
+        sync=sync,
     )
 
 

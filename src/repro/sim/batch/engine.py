@@ -116,12 +116,20 @@ def _bits(positions: np.ndarray) -> np.ndarray:
     return np.left_shift(_ONE, positions.astype(np.uint64))
 
 
+#: archtrace op names matching scalar ``type(instr).__name__.lower()``
+_K_OPNAME = {K_ALU: "alu", K_LOAD: "load", K_STORE: "store",
+             K_RMW: "rmw", K_NOP: "nop", K_HALT: "halt"}
+#: archtrace sync codes from the compiler's per-pc table
+_SYNC_NAMES = (None, "acquire", "release", "full")
+
+
 class BatchEngine:
     """Lockstep SoA execution of a homogeneous-``ncpu`` batch of jobs."""
 
     def __init__(self, jobs: Sequence[BatchJob],
                  compiled: Sequence[Tuple[CompiledProgram, ...]],
-                 reference_fabric: bool = False) -> None:
+                 reference_fabric: bool = False,
+                 arch: Optional[Sequence] = None) -> None:
         if not jobs:
             raise ValueError("empty batch")
         ncpu = jobs[0].ncpu
@@ -136,6 +144,19 @@ class BatchEngine:
         #: instead of the transliterated FastFabric (slow; for triaging
         #: any fast-path divergence back to the scalar classes)
         self.reference_fabric = reference_fabric
+        #: per-lane archtrace collectors (or None); the reference fabric
+        #: routes through the real component graph, which has its own
+        #: trace plumbing — combining it with the engine's emission
+        #: would double-count, so refuse
+        if arch is not None and any(a is not None for a in arch):
+            if reference_fabric:
+                raise ValueError(
+                    "archtrace is not supported with reference_fabric")
+            if len(arch) != self.L:
+                raise ValueError("need one archtrace sink per lane")
+        self.arch: List = (list(arch) if arch is not None
+                           else [None] * self.L)
+        self._any_arch = any(a is not None for a in self.arch)
 
         # --- events ---------------------------------------------------
         # calendar buckets: cycle -> [(lane, fabric-or-None, fn, args)].
@@ -174,6 +195,7 @@ class BatchEngine:
         self.AIDX = np.full((C, P + 1), -1, dtype=np.int16)
         self.HEADC = np.full((C, P + 1), -1, dtype=np.int8)
         self.VALSTAT = np.zeros((C, P + 1), dtype=np.int64)
+        self.SYNC = np.zeros((C, P + 1), dtype=np.int8)
 
         self.MPC = np.zeros((C, M), dtype=np.int16)
         self.MADDR = np.zeros((C, M), dtype=np.int64)
@@ -200,6 +222,8 @@ class BatchEngine:
             self.AIDX[ctx, :n] = cp.aidx
             self.HEADC[ctx, :n] = cp.headcause
             self.VALSTAT[ctx, :n] = cp.value
+            if cp.sync is not None:
+                self.SYNC[ctx, :n] = cp.sync
             if nm:
                 self.MPC[ctx, :nm] = cp.m_pc
                 self.MADDR[ctx, :nm] = cp.m_addr
@@ -290,7 +314,7 @@ class BatchEngine:
                 shim, fabric = build_lane_fabric(self, lane, job)
                 self.shims.append(shim)
             else:
-                fabric = FastFabric(self, lane, job)
+                fabric = FastFabric(self, lane, job, arch=self.arch[lane])
             self.fabrics.append(fabric)
             for cpu in range(self.ncpu):
                 self.caches[lane * self.ncpu + cpu] = fabric.caches[cpu]
@@ -398,6 +422,15 @@ class BatchEngine:
         self.sb[ctx] &= inv
         self.sbissued[ctx] &= inv
         self.store_lat[ctx].append(self.cycle - start)
+        if self._any_arch:
+            lane, cpu = divmod(ctx, self.ncpu)
+            arch = self.arch[lane]
+            if arch is not None:
+                arch.record(self.cycle, f"cpu{cpu}/lsu", "store_complete",
+                            seq=int(self.MPC[ctx, m]),
+                            addr=int(self.MADDR[ctx, m]),
+                            value=int(value),
+                            rmw=bool(self.MISR[ctx, m]))
         if self.MISR[ctx, m]:
             pc = self.MPC[ctx, m]
             self.done[ctx, pc] = True
@@ -420,8 +453,37 @@ class BatchEngine:
         self.done[ctx, pc] = True
         self.value[ctx, pc] = value
         self.load_lat[ctx].append(self.cycle - start)
+        if self._any_arch:
+            lane, cpu = divmod(ctx, self.ncpu)
+            arch = self.arch[lane]
+            if arch is not None:
+                arch.record(self.cycle, f"cpu{cpu}/lsu", "load_complete",
+                            seq=int(pc), addr=int(self.MADDR[ctx, m]),
+                            value=int(value))
         # the bound value may be a later store's data operand
         self.scan_load[ctx] = True
+
+    def _arch_retire(self, ri: np.ndarray, rpcs: np.ndarray,
+                     kinds: np.ndarray) -> None:
+        """Archtrace retire events mirroring ``Processor._retire``.
+
+        Inside the batch envelope decode order is program order, so the
+        scalar sequence number equals the flat pc.  ``bound`` mirrors
+        the scalar ``head.value is not None``: ALU/Load/RMW heads bind
+        a value, Store/Nop/Halt heads do not.
+        """
+        for ctx, pc, k in zip(ri.tolist(), rpcs.tolist(), kinds.tolist()):
+            lane, cpu = divmod(ctx, self.ncpu)
+            arch = self.arch[lane]
+            if arch is None:
+                continue
+            extra = {}
+            code = int(self.SYNC[ctx, pc])
+            if code:
+                extra["sync"] = _SYNC_NAMES[code]
+            arch.record(self.cycle, f"cpu{cpu}", "retire",
+                        seq=pc, pc=pc, op=_K_OPNAME[k],
+                        bound=k in (K_ALU, K_LOAD, K_RMW), **extra)
 
     # ------------------------------------------------------------------
     # Phases
@@ -457,6 +519,8 @@ class BatchEngine:
                                   done_h)))
             ri = idx[may]
             if ri.size:
+                if self._any_arch:
+                    self._arch_retire(ri, rpc[may], k[may])
                 self.retired[ri] += 1
                 self.retired_acc[ri] += 1
                 rc[ri] += 1

@@ -35,6 +35,10 @@ class BatchJob:
     warm_lines: Sequence[Tuple[int, int, bool]] = ()
     cache: Optional[CacheConfig] = None
     max_cycles: int = 1_000_000
+    #: collect the canonical architectural event stream for this job
+    #: (see :mod:`repro.obs.archtrace`); batched and scalar backends
+    #: produce bit-identical streams
+    archtrace: bool = False
     #: opaque caller cookie carried through to the result (job routing)
     key: object = field(default=None, compare=False)
 

@@ -41,6 +41,11 @@ class BatchResult:
     cycles: Optional[int] = None
     error: Optional[BaseException] = None
     unsupported_reason: Optional[str] = None
+    #: finalized ArchTraceCollector when the job asked for one; the
+    #: header of any serialization must carry ``backend`` and
+    #: ``unsupported_reason`` so a scalar fallback is never silent
+    archtrace: Optional[object] = field(
+        default=None, repr=False, compare=False)
     _stats: Optional[StatsRegistry] = field(
         default=None, repr=False, compare=False)
     _stats_thunk: Optional[Callable[[], StatsRegistry]] = field(
@@ -74,6 +79,18 @@ class BatchResult:
         if self.error is not None:
             raise self.error
         return self
+
+    def write_archtrace(self, path: str, label: str = "",
+                        lane: Optional[int] = None) -> int:
+        """Serialize the job's archtrace, tagging the header with the
+        backend that actually ran and (for scalar routing of a job that
+        asked for the batched engine) the specific unsupported reason —
+        a fallback is visible in the stream, never silent."""
+        if self.archtrace is None:
+            raise RuntimeError("job did not request an archtrace")
+        return self.archtrace.write_jsonl(
+            path, backend=self.backend, label=label, lane=lane,
+            fallback_reason=self.unsupported_reason)
 
 
 class _CompileCache:
@@ -177,9 +194,16 @@ class BatchRunner:
             compiled.append(tuple(compile_cache.get(program, model)
                                   for program in job.programs))
 
+        arch: List[Optional[object]] = [None] * len(batch)
+        if any(job.archtrace for job in batch):
+            from ...obs.archtrace import ArchTraceCollector
+            arch = [ArchTraceCollector() if job.archtrace else None
+                    for job in batch]
+
         try:
             engine = BatchEngine(batch, compiled,
-                                 reference_fabric=self.reference_fabric)
+                                 reference_fabric=self.reference_fabric,
+                                 arch=arch)
             engine.run()
         except Exception:
             # engine bug or unanticipated envelope escape: never lose a
@@ -197,10 +221,21 @@ class BatchRunner:
                                             reason="deadlock"))
                 continue
             fabric = engine.fabrics[lane]
+            collector = arch[lane]
+            if collector is not None:
+                from ...obs.accounting import per_cpu_breakdowns
+                collector.finalize(
+                    cycles=int(engine.lane_cycles[lane]),
+                    final_memory={
+                        addr: fabric.read_word(addr)
+                        for addr in sorted(job.initial_memory or {})},
+                    breakdowns=per_cpu_breakdowns(
+                        engine.materialize_stats(lane), job.ncpu))
             out.append(BatchResult(
                 job=job,
                 backend="batched",
                 cycles=int(engine.lane_cycles[lane]),
+                archtrace=collector,
                 _stats_thunk=partial(engine.materialize_stats, lane),
                 _read_word=fabric.read_word,
             ))
@@ -210,6 +245,10 @@ class BatchRunner:
     @staticmethod
     def _run_scalar(job: BatchJob, backend: str,
                     reason: Optional[str] = None) -> BatchResult:
+        collector = None
+        if job.archtrace:
+            from ...obs.archtrace import ArchTraceCollector
+            collector = ArchTraceCollector()
         try:
             rr = run_workload(
                 programs=job.programs,
@@ -221,15 +260,24 @@ class BatchRunner:
                 warm_lines=job.warm_lines,
                 cache=job.cache,
                 max_cycles=job.max_cycles,
+                trace=collector,
             )
         except Exception as exc:
             return BatchResult(job=job, backend=backend, error=exc,
-                               unsupported_reason=reason)
+                               unsupported_reason=reason,
+                               archtrace=collector)
+        if collector is not None:
+            collector.finalize(
+                cycles=rr.cycles,
+                final_memory={addr: rr.machine.read_word(addr)
+                              for addr in sorted(job.initial_memory or {})},
+                breakdowns=rr.breakdowns())
         return BatchResult(
             job=job,
             backend=backend,
             cycles=rr.cycles,
             _stats=rr.stats,
             unsupported_reason=reason,
+            archtrace=collector,
             _read_word=rr.machine.read_word,
         )

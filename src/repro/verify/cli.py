@@ -88,6 +88,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "(self-test: the fuzzer must catch it)")
     parser.add_argument("--no-minimize", action="store_true",
                         help="skip test-case minimization of failures")
+    parser.add_argument("--localize", action="store_true",
+                        help="on failure, re-run the failing leg with "
+                             "archtraces on both backends, diff against "
+                             "reference runs, and attach the "
+                             "DivergenceReport to the corpus entry "
+                             "(paired archtraces land in "
+                             "<corpus>.localize/)")
     parser.add_argument("--progress", action="store_true",
                         help="live sweep telemetry on stderr: items done, "
                              "EMA rate, ETA, worker utilization")
@@ -128,7 +135,8 @@ def run_fuzz(budget: int, jobs: int, seed: int,
              generator: Optional[GeneratorConfig] = None,
              oracle: str = "all",
              suite: bool = False,
-             backend: str = "scalar") -> int:
+             backend: str = "scalar",
+             localize: bool = False) -> int:
     """Fuzz ``budget`` seeds (or sweep the named suite); returns the
     process exit status.
 
@@ -208,6 +216,22 @@ def run_fuzz(budget: int, jobs: int, seed: int,
             for tid, thread in enumerate(shrink.test.threads):
                 print(f"    T{tid}: " +
                       "; ".join(op.describe() for op in thread))
+        localization_dict = None
+        if localize and failure.divergences:
+            from .localize import localize_failure
+            loc_dir = None
+            if corpus_path:
+                loc_dir = f"{corpus_path}.localize/item{failure.index}"
+            loc = localize_failure(
+                test, list(failure.divergences),
+                config=HarnessConfig(fault=fault, oracle=oracle,
+                                     backend=backend),
+                test_name=failure.test_name if suite
+                else f"seed={failure.seed}",
+                out_dir=loc_dir)
+            if loc is not None:
+                localization_dict = loc.to_dict()
+                print(loc.describe())
         corpus.add(CorpusEntry(
             master_seed=seed,
             index=failure.index,
@@ -219,6 +243,7 @@ def run_fuzz(budget: int, jobs: int, seed: int,
             oracle=oracle,
             oracle_disagreements=[disagreement_to_dict(d)
                                   for d in failure.oracle_disagreements],
+            localization=localization_dict,
         ))
     for crash in crashes:
         print(f"ERROR {crash.describe()}")
@@ -272,6 +297,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         oracle=args.oracle,
         suite=args.suite,
         backend=args.backend,
+        localize=args.localize,
     )
 
 

@@ -18,8 +18,9 @@ from ..consistency.litmus import LitmusOp, LitmusTest
 from .harness import Divergence, OracleDisagreement
 
 #: bumped when the on-disk schema changes incompatibly; version-1
-#: corpora (no oracle fields) still load — the new fields default
-CORPUS_VERSION = 2
+#: corpora (no oracle fields) and version-2 corpora (no localization)
+#: still load — the new fields default
+CORPUS_VERSION = 3
 
 
 def litmus_to_dict(test: LitmusTest) -> Dict[str, object]:
@@ -61,6 +62,9 @@ class CorpusEntry:
     fault: Optional[str] = None
     oracle: str = "all"
     oracle_disagreements: List[Dict[str, object]] = field(default_factory=list)
+    #: serialized LocalizationResult (verify --localize): archtrace
+    #: diff reports pinning the first divergent architectural event
+    localization: Optional[Dict[str, object]] = None
 
     def litmus(self) -> LitmusTest:
         return litmus_from_dict(self.test)

@@ -31,7 +31,7 @@ proves the harness has teeth.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..consistency.litmus import LitmusTest, Outcome
 from ..consistency.models import get_model
@@ -183,7 +183,7 @@ class CheckResult:
 # Fault injection (the fuzzer's self-test)
 # ----------------------------------------------------------------------
 
-def _fault_slb_deaf() -> None:
+def _fault_slb_deaf() -> Callable[[], None]:
     """The speculative-load buffer ignores every coherence snoop.
 
     Speculative loads then retire stale values: the exact bug class
@@ -191,11 +191,16 @@ def _fault_slb_deaf() -> None:
     """
     from ..core.speculation import SpeculativeLoadBuffer
 
+    original = SpeculativeLoadBuffer.on_snoop
     SpeculativeLoadBuffer.on_snoop = (  # type: ignore[method-assign]
         lambda self, kind, line_addr: [])
 
+    def undo() -> None:
+        SpeculativeLoadBuffer.on_snoop = original  # type: ignore[method-assign]
+    return undo
 
-def _fault_slb_forgets_acquires() -> None:
+
+def _fault_slb_forgets_acquires() -> Callable[[], None]:
     """SLB entries never carry the ``acq`` bit, so loads retire before
     the ordering constraint they stand for is satisfied."""
     from ..core.speculation import SlbEntry
@@ -208,13 +213,19 @@ def _fault_slb_forgets_acquires() -> None:
 
     SlbEntry.__init__ = init  # type: ignore[method-assign]
 
+    def undo() -> None:
+        SlbEntry.__init__ = original_init  # type: ignore[method-assign]
+    return undo
 
+
+#: each fault applies a monkeypatch and returns an undo callable, so
+#: the localizer can run clean reference legs in the same process
 FAULTS = {
     "slb-deaf": _fault_slb_deaf,
     "slb-forgets-acquires": _fault_slb_forgets_acquires,
 }
 
-_applied_faults: set = set()
+_applied_faults: Dict[str, Callable[[], None]] = {}
 
 
 def apply_fault(name: str) -> None:
@@ -223,8 +234,16 @@ def apply_fault(name: str) -> None:
         raise ConfigurationError(
             f"unknown fault {name!r}; available: {sorted(FAULTS)}")
     if name not in _applied_faults:
-        FAULTS[name]()
-        _applied_faults.add(name)
+        _applied_faults[name] = FAULTS[name]()
+
+
+def clear_faults() -> List[str]:
+    """Undo every applied fault; returns their names (so a caller can
+    re-apply after running clean reference legs)."""
+    names = list(_applied_faults)
+    for name in names:
+        _applied_faults.pop(name)()
+    return names
 
 
 # ----------------------------------------------------------------------

@@ -234,13 +234,27 @@ class TestCli:
         assert proc.returncode == 0, proc.stdout + proc.stderr
 
     @pytest.mark.slow
-    def test_fault_injection_is_caught(self, tmp_path):
+    def test_fault_injection_is_caught_and_localized(self, tmp_path):
         corpus_path = tmp_path / "corpus.json"
         proc = _run_verify("--budget", "25", "--seed", "0",
                            "--fault", "slb-deaf", "--no-minimize",
-                           "--corpus", str(corpus_path))
+                           "--localize", "--corpus", str(corpus_path))
         assert proc.returncode == 1, proc.stdout + proc.stderr
         assert "FAIL" in proc.stdout
         corpus = Corpus.load(corpus_path)
         assert corpus.entries
-        assert corpus.entries[0].fault == "slb-deaf"
+        entry = corpus.entries[0]
+        assert entry.fault == "slb-deaf"
+        # the localizer must have pinned the injected fault to its
+        # first divergent architectural event, against both a clean
+        # scalar and a clean batched reference
+        loc = entry.localization
+        assert loc is not None and loc["fault"] == "slb-deaf"
+        reports = loc["reports"]
+        assert set(reports) == {"scalar-vs-scalar", "scalar-vs-batched"}
+        for name, report in reports.items():
+            assert report["classification"] == "architectural", name
+            assert report["arch_event_a"] or report["arch_event_b"], name
+        for path_a, path_b in loc["artifacts"].values():
+            assert Path(path_a).exists() and Path(path_b).exists()
+            assert str(corpus_path) in path_a  # lands next to the corpus
