@@ -11,6 +11,12 @@ architectural event stream (:mod:`~repro.obs.archtrace`) and its
 first-divergence differ (:mod:`~repro.obs.diff`).
 ``python -m repro.obs`` is the CLI.
 
+Fleet-level telemetry lives in :mod:`repro.obs.telemetry` (campaign
+metrics registry + cross-process span tracing) and
+:mod:`repro.obs.ledger` (the content-addressed run ledger); both are
+stdlib-only and imported lazily by the orchestration layers, so they
+are re-exported here without widening this package's import footprint.
+
 Import discipline: this package is imported by the processor core, so
 only modules that depend on nothing above ``repro.sim`` are pulled in
 here.  The heavyweight report layer (:mod:`repro.obs.report`, which
@@ -47,6 +53,14 @@ from .archtrace import (
 )
 from .diff import DivergenceReport, diff_archtraces
 from .jsonl import JsonlTraceRecorder, read_jsonl, write_jsonl
+from .ledger import (
+    LEDGER_SCHEMA,
+    append_record,
+    ledger_stats,
+    make_record,
+    read_ledger,
+    request_hash,
+)
 from .perfetto import (
     export_chrome_trace,
     to_trace_events,
@@ -66,21 +80,27 @@ __all__ = [
     "CycleBreakdown",
     "DivergenceReport",
     "JsonlTraceRecorder",
+    "LEDGER_SCHEMA",
     "PrefetchEffectiveness",
     "SpeculationEffectiveness",
     "StallCause",
     "TeeTrace",
+    "append_record",
     "breakdown_from_stats",
     "derive_arch_event",
     "diff_archtraces",
     "export_chrome_trace",
+    "ledger_stats",
     "machine_breakdown",
+    "make_record",
     "per_cpu_breakdowns",
     "prefetch_effectiveness",
     "read_archtrace",
     "read_jsonl",
+    "read_ledger",
     "render_breakdown",
     "render_effectiveness",
+    "request_hash",
     "speculation_effectiveness",
     "to_trace_events",
     "trace_warnings",

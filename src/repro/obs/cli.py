@@ -12,6 +12,8 @@ Subcommands::
                    BENCH_<timestamp>.json record (optionally gate on it)
     bench-check    compare an existing BENCH record against the trajectory
     bench-validate structurally check BENCH record files (CI gate)
+    ledger         query the content-addressed run ledger
+                   (list | show | stats | trajectory)
 
 Examples::
 
@@ -21,6 +23,8 @@ Examples::
     python -m repro.obs diff a.archtrace.jsonl b.archtrace.jsonl
     python -m repro.obs bench --quick
     python -m repro.obs bench-check bench/BENCH_20260805T120000Z.json
+    python -m repro.obs ledger stats
+    python -m repro.obs ledger trajectory --kind fuzz
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ import json
 import sys
 from typing import List, Optional
 
+from .ledger import KNOWN_KINDS
 from .perfetto import (
     export_chrome_trace,
     trace_file_warnings,
@@ -39,13 +44,16 @@ from .perfetto import (
 
 def _cmd_breakdown(args: argparse.Namespace) -> int:
     # heavy import (workloads + simulator) deferred until needed
+    import time
+
     from ..consistency.models import get_model
     from ..sim.stats import StatsRegistry
-    from .report import DEFAULT_MODELS, example_breakdown_matrix
+    from .report import DEFAULT_MODELS, TECHNIQUES, example_breakdown_matrix
 
     models = (tuple(get_model(m) for m in args.models)
               if args.models else DEFAULT_MODELS)
     merged: Optional[StatsRegistry] = StatsRegistry() if args.stats_json else None
+    t0 = time.perf_counter()
     table = example_breakdown_matrix(
         args.example,
         models=models,
@@ -54,12 +62,32 @@ def _cmd_breakdown(args: argparse.Namespace) -> int:
         normalize=args.normalize,
         merged=merged,
     )
+    wall = time.perf_counter() - t0
     print(table.render())
     if args.stats_json and merged is not None:
         with open(args.stats_json, "w") as fh:
             json.dump(merged.snapshot(), fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"merged statistics written to {args.stats_json}")
+    if not args.no_ledger:
+        from . import ledger as ledger_mod
+
+        num_cells = len(models) * len(TECHNIQUES)
+        record = ledger_mod.make_record(
+            kind="breakdown",
+            request={
+                "example": args.example,
+                "models": [m.name for m in models],
+                "miss_latency": args.miss_latency,
+                "normalize": args.normalize,
+            },
+            outcome={"cells": num_cells},
+            wall_seconds=wall,
+            items=num_cells,
+            artifacts=({"stats_json": args.stats_json}
+                       if args.stats_json else None),
+        )
+        ledger_mod.append_record(record, args.ledger)
     return 0
 
 
@@ -127,6 +155,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not args.no_write:
         path = perf.write_record(record, args.out)
         print(f"bench record written to {path}")
+
+    if not args.no_ledger:
+        from . import ledger as ledger_mod
+
+        cases: dict = record["cases"]  # type: ignore[assignment]
+        ledger_mod.append_record(ledger_mod.make_record(
+            kind="bench",
+            request={
+                "suite": sorted(cases),
+                "quick": args.quick,
+                "repeats": repeats,
+            },
+            outcome={
+                name: {"wall_seconds": c["wall_seconds"],
+                       "kips": c["kips"],
+                       "items_per_second": c["items_per_second"]}
+                for name, c in sorted(cases.items())
+            },
+            wall_seconds=sum(float(c["wall_seconds"]) * len(c["wall_all"])
+                             for c in cases.values()),
+            items=sum(int(c["items"]) for c in cases.values()),
+            artifacts={"record": path} if path else None,
+        ), args.ledger)
 
     if not args.check:
         return 0
@@ -197,6 +248,53 @@ def _cmd_bench_validate(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    from . import ledger as ledger_mod
+
+    records, skipped = ledger_mod.read_ledger(args.ledger)
+    if skipped:
+        print(f"WARNING: skipped {skipped} invalid ledger line(s)",
+              file=sys.stderr)
+    if args.kind:
+        records = [r for r in records if r.get("kind") == args.kind]
+
+    if args.ledger_command == "list":
+        print(ledger_mod.render_list(records, limit=args.limit))
+        return 0
+    if args.ledger_command == "show":
+        matches = ledger_mod.find_records(records, args.hash)
+        if not matches:
+            print(f"no ledger record matches request hash {args.hash!r}",
+                  file=sys.stderr)
+            return 1
+        for record in matches:
+            print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+    if args.ledger_command == "stats":
+        stats = ledger_mod.ledger_stats(records)
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            print(ledger_mod.render_stats(stats))
+        return 0
+    if args.ledger_command == "trajectory":
+        kind = args.kind or "bench"
+        points = ledger_mod.ledger_trajectory(records, kind=kind)
+        if args.json:
+            print(json.dumps(points, indent=2, sort_keys=True))
+        else:
+            print(ledger_mod.render_trajectory(points, kind))
+        return 0
+    raise AssertionError(f"unhandled ledger command "
+                         f"{args.ledger_command!r}")  # pragma: no cover
+
+
+def _add_ledger_path_argument(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--ledger", metavar="FILE", default=None,
+                   help="run-ledger JSONL path (default: "
+                        "$REPRO_LEDGER or .repro/ledger.jsonl)")
+
+
 def _add_threshold_arguments(p: argparse.ArgumentParser) -> None:
     p.add_argument("--trajectory", default="bench", metavar="DIR",
                    help="directory holding the committed BENCH_*.json "
@@ -230,6 +328,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print raw cycle counts instead of normalized %")
     p.add_argument("--stats-json", metavar="FILE",
                    help="write the merged per-cell statistics registry here")
+    _add_ledger_path_argument(p)
+    p.add_argument("--no-ledger", action="store_true",
+                   help="do not append this run to the run ledger")
     p.set_defaults(func=_cmd_breakdown)
 
     p = sub.add_parser("convert",
@@ -277,6 +378,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "regression")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-case progress on stderr")
+    _add_ledger_path_argument(p)
+    p.add_argument("--no-ledger", action="store_true",
+                   help="do not append this run to the run ledger")
     _add_threshold_arguments(p)
     p.set_defaults(func=_cmd_bench, trajectory=None)
 
@@ -291,6 +395,43 @@ def build_parser() -> argparse.ArgumentParser:
                        help="structurally check BENCH record files")
     p.add_argument("files", nargs="+", help="BENCH_*.json files")
     p.set_defaults(func=_cmd_bench_validate)
+
+    p = sub.add_parser("ledger",
+                       help="query the content-addressed run ledger")
+    lsub = p.add_subparsers(dest="ledger_command", required=True)
+
+    lp = lsub.add_parser("list", help="one line per record, newest last")
+    _add_ledger_path_argument(lp)
+    lp.add_argument("--kind", choices=KNOWN_KINDS,
+                    help="only records of this kind")
+    lp.add_argument("--limit", type=int, default=20,
+                    help="newest N records (0 = all; default 20)")
+    lp.set_defaults(func=_cmd_ledger)
+
+    lp = lsub.add_parser("show",
+                         help="dump records matching a request-hash prefix")
+    lp.add_argument("hash", help="request_sha256 prefix")
+    _add_ledger_path_argument(lp)
+    lp.set_defaults(func=_cmd_ledger, kind=None)
+
+    lp = lsub.add_parser("stats",
+                         help="per-kind totals and the dedupe-hit rate a "
+                              "content-addressed result cache would see")
+    _add_ledger_path_argument(lp)
+    lp.add_argument("--kind", choices=KNOWN_KINDS,
+                    help="restrict to one record kind")
+    lp.add_argument("--json", action="store_true",
+                    help="emit the stats object as JSON")
+    lp.set_defaults(func=_cmd_ledger)
+
+    lp = lsub.add_parser("trajectory",
+                         help="throughput trend of one record kind, "
+                              "oldest first (default: bench)")
+    _add_ledger_path_argument(lp)
+    lp.add_argument("--kind", choices=KNOWN_KINDS, default="bench")
+    lp.add_argument("--json", action="store_true",
+                    help="emit the trajectory points as JSON")
+    lp.set_defaults(func=_cmd_ledger)
 
     return parser
 

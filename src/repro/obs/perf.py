@@ -308,14 +308,17 @@ def peak_rss_kb() -> int:
 
 def run_case(case: CaseSpec, repeats: int = 3) -> Dict[str, object]:
     """Measure one case median-of-``repeats``; return its record entry."""
+    from . import telemetry as tm
+
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     walls: List[float] = []
     work: Dict[str, int] = {}
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        work = case.fn()
-        walls.append(time.perf_counter() - t0)
+    with tm.span(f"bench/{case.name}", {"repeats": repeats}):
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            work = case.fn()
+            walls.append(time.perf_counter() - t0)
     wall = statistics.median(walls)
 
     def rate(amount: int) -> float:

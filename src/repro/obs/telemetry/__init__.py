@@ -1,0 +1,128 @@
+"""Campaign telemetry: metrics registry, span tracing, worker shipping.
+
+``repro.obs.telemetry`` is the fleet-level observability substrate —
+where the rest of ``repro.obs`` watches a single simulation, this
+package watches *campaigns*: fuzz sweeps, benchmark suites, breakdown
+matrices.  Three cooperating pieces:
+
+* :mod:`.metrics` — a process-wide registry of counters/gauges/
+  histograms with Prometheus text exposition and JSON snapshots,
+  mergeable across ProcessPool workers (counters add, gauges max);
+* :mod:`.spans` — wall-clock span tracing of the orchestration layer,
+  exported as one merged Perfetto trace across all worker processes;
+* :func:`collect` / :func:`absorb` — the shipping protocol: a worker
+  wraps each chunk in ``collect()`` (fresh registry + tracer pushed as
+  active, so consecutive chunks in the same long-lived worker process
+  never double-count), serializes the scope's state into a *shipment*
+  dict, and the parent folds it in with ``absorb()``.
+
+Import discipline: this package must stay importable from anywhere in
+the tree (the sweep engine reaches for it lazily), so it imports only
+the standard library.
+
+Everything is a no-op until :func:`enable` is called — instrumentation
+sites stay in place on hot paths at the cost of one flag check.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Mapping, Optional
+
+from .metrics import (
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    enable,
+    enabled,
+    inc,
+    observe,
+    registry,
+    set_gauge,
+    swap_registry,
+)
+from .spans import SPANS_SCHEMA, SpanTracer, span, swap_tracer, tracer
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "SPANS_SCHEMA",
+    "MetricsRegistry",
+    "SpanTracer",
+    "absorb",
+    "collect",
+    "enable",
+    "enabled",
+    "inc",
+    "observe",
+    "registry",
+    "set_gauge",
+    "span",
+    "swap_registry",
+    "swap_tracer",
+    "tracer",
+]
+
+
+class CollectScope:
+    """Handle yielded by :func:`collect`: the scope's fresh registry and
+    tracer, plus :meth:`shipment` once the scope has closed."""
+
+    def __init__(self, metrics_registry: MetricsRegistry,
+                 span_tracer: SpanTracer) -> None:
+        self.metrics = metrics_registry
+        self.spans = span_tracer
+
+    def shipment(self) -> Dict[str, object]:
+        """Serialize everything recorded inside the scope for shipping
+        back to the parent process (see :func:`absorb`)."""
+        return {
+            "metrics": self.metrics.to_state(),
+            "spans": self.spans.to_state(),
+        }
+
+
+@contextmanager
+def collect(process: Optional[str] = None,
+            enable_telemetry: bool = True) -> Iterator[CollectScope]:
+    """Run a block against a *fresh* registry and tracer.
+
+    This is the worker-side half of the shipping protocol: ProcessPool
+    workers are long-lived and process many chunks, so shipping the
+    process-wide registry after each chunk would double-count earlier
+    chunks.  ``collect()`` pushes fresh instances as the active ones,
+    restores the previous ones on exit, and hands back a
+    :class:`CollectScope` whose :meth:`~CollectScope.shipment` carries
+    exactly what happened inside the block.
+
+    The parent side uses it too — ``run_fuzz`` wraps each campaign so a
+    second campaign in the same process starts from zero.
+    """
+    from .metrics import _ENABLED  # current flag, to restore on exit
+    scope = CollectScope(MetricsRegistry(), SpanTracer(process=process))
+    prev_registry = swap_registry(scope.metrics)
+    prev_tracer = swap_tracer(scope.spans)
+    prev_enabled = _ENABLED
+    if enable_telemetry:
+        enable(True)
+    try:
+        yield scope
+    finally:
+        swap_registry(prev_registry)
+        swap_tracer(prev_tracer)
+        enable(prev_enabled)
+
+
+def absorb(shipment: Optional[Mapping[str, object]],
+           metrics_registry: Optional[MetricsRegistry] = None,
+           span_tracer: Optional[SpanTracer] = None) -> None:
+    """Parent-side half of the shipping protocol: fold a worker's
+    shipment into the given (default: active) registry and tracer."""
+    if not shipment:
+        return
+    reg = metrics_registry if metrics_registry is not None else registry()
+    trc = span_tracer if span_tracer is not None else tracer()
+    metrics_state = shipment.get("metrics")
+    if metrics_state:
+        reg.merge_from(MetricsRegistry.from_state(metrics_state))  # type: ignore[arg-type]
+    spans_state = shipment.get("spans")
+    if spans_state:
+        trc.absorb_state(spans_state)  # type: ignore[arg-type]

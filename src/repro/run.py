@@ -22,8 +22,10 @@ Observability outputs::
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import sys
+import time
 from typing import Dict, List, Optional
 
 from .consistency import get_model
@@ -113,15 +115,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="keep at most N trace events in memory "
                              "(0 = unbounded; --sanitize needs the full "
                              "trace and ignores the limit)")
+    parser.add_argument("--ledger", metavar="FILE", default=None,
+                        help="run-ledger JSONL path (default: "
+                             "$REPRO_LEDGER or .repro/ledger.jsonl)")
+    parser.add_argument("--no-ledger", action="store_true",
+                        help="do not append this run to the run ledger")
     args = parser.parse_args(argv)
 
     if not args.programs and not args.example:
         parser.error("need assembly files or --example")
 
     programs = []
+    program_sha256: List[str] = []
     for path in args.programs:
         with open(path) as fh:
-            programs.append(assemble(fh.read()))
+            text = fh.read()
+        program_sha256.append(hashlib.sha256(text.encode()).hexdigest())
+        programs.append(assemble(text))
 
     initial_memory = parse_init(args.init)
     warm_lines = ()
@@ -176,6 +186,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         profiler = HostProfiler(
             heartbeat=heartbeat if args.progress else None,
             heartbeat_cycles=max(1, args.progress_every))
+    t0 = time.perf_counter()
     result = run_workload(
         programs,
         model=model,
@@ -188,6 +199,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         trace=sink,
         profile=profiler if profiler is not None else False,
     )
+    wall = time.perf_counter() - t0
 
     if args.progress:
         print(file=sys.stderr)
@@ -249,13 +261,42 @@ def main(argv: Optional[List[str]] = None) -> int:
                    if archtrace.dropped else "")
         print(f"archtrace written to {args.archtrace} "
               f"({count} event(s){dropped})")
+    sanitize_ok = True
     if args.sanitize and trace is not None:
         from .analysis.static import sanitize_trace
         report = sanitize_trace(trace, model=model)
         print(report.render())
-        if not report.ok:
-            return 1
-    return 0
+        sanitize_ok = report.ok
+
+    if not args.no_ledger:
+        from .obs import ledger as ledger_mod
+
+        artifacts = {key: value for key, value in (
+            ("stats_json", args.stats_json),
+            ("perfetto", args.perfetto),
+            ("trace_jsonl", args.trace_jsonl),
+            ("archtrace", args.archtrace),
+        ) if value}
+        ledger_mod.append_record(ledger_mod.make_record(
+            kind="run",
+            request={
+                "example": args.example,
+                "programs_sha256": program_sha256,
+                "model": args.model.upper(),
+                "prefetch": args.prefetch,
+                "speculation": args.speculation,
+                "miss_latency": args.miss_latency,
+                "max_cycles": args.max_cycles,
+                "init": {str(a): v for a, v in sorted(initial_memory.items())},
+            },
+            outcome={"cycles": result.cycles,
+                     "sanitize_ok": sanitize_ok},
+            wall_seconds=wall,
+            items=result.cycles,
+            artifacts=artifacts or None,
+        ), args.ledger)
+
+    return 0 if sanitize_ok else 1
 
 
 if __name__ == "__main__":

@@ -13,6 +13,7 @@ how jobs were grouped or which backend ran them.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -24,6 +25,22 @@ from .compile import (CompiledProgram, compile_core, job_unsupported_reason,
                       specialize_model)
 from .engine import BatchEngine
 from .jobs import BatchJob
+
+
+def _tm():
+    """Campaign telemetry, imported lazily (cycle-safe, stdlib-only)."""
+    from ...obs import telemetry
+    return telemetry
+
+
+_THREAD_PREFIX = re.compile(r"^T\d+: ")
+
+
+def _reason_label(reason: str) -> str:
+    """Normalize an unsupported-reason string into a low-cardinality
+    metric label: per-thread prefixes (``T3: branch``) collapse onto
+    the underlying reason so the counter groups by *cause*."""
+    return _THREAD_PREFIX.sub("", reason)
 
 
 @dataclass
@@ -113,16 +130,27 @@ class _CompileCache:
         self.masks: Dict[str, dict] = {}
 
     def get(self, program, model) -> CompiledProgram:
+        tm = _tm()
         key = (id(program), model.name)
         cp = self.specialized.get(key)
         if cp is None:
+            tm.inc("batch/compile_memo",
+                   labels={"layer": "specialized", "result": "miss"})
             core = self.cores.get(id(program))
             if core is None:
+                tm.inc("batch/compile_memo",
+                       labels={"layer": "core", "result": "miss"})
                 core = self.cores[id(program)] = compile_core(program)
+            else:
+                tm.inc("batch/compile_memo",
+                       labels={"layer": "core", "result": "hit"})
             cp = specialize_model(core, model,
                                   self.arcs.setdefault(model.name, {}),
                                   self.masks.setdefault(model.name, {}))
             self.specialized[key] = cp
+        else:
+            tm.inc("batch/compile_memo",
+                   labels={"layer": "specialized", "result": "hit"})
         return cp
 
 
@@ -164,15 +192,26 @@ class BatchRunner:
         compile_cache = _CompileCache()
         reason_cache: Dict[int, Optional[str]] = {}
 
+        tm = _tm()
+        tm.inc("batch/jobs", len(jobs))
+        scalar_routed: List[Tuple[int, BatchJob, str]] = []
         for i, job in enumerate(jobs):
             reason = None if not self.force_scalar else "forced scalar"
             if reason is None:
                 reason = job_unsupported_reason(job, reason_cache)
             if reason is not None:
-                results[i] = self._run_scalar(job, backend="scalar",
-                                              reason=reason)
+                scalar_routed.append((i, job, reason))
             else:
                 groups.setdefault(job.ncpu, []).append((i, job))
+
+        if scalar_routed:
+            with tm.span("batch/fallback",
+                         {"jobs": len(scalar_routed)}):
+                for i, job, reason in scalar_routed:
+                    tm.inc("batch/fallback",
+                           labels={"reason": _reason_label(reason)})
+                    results[i] = self._run_scalar(job, backend="scalar",
+                                                  reason=reason)
 
         step = max(1, self.chunk_size)
         for _ncpu, members in sorted(groups.items()):
@@ -188,11 +227,13 @@ class BatchRunner:
     # ------------------------------------------------------------------
     def _run_batched(self, batch: List[BatchJob],
                      compile_cache: "_CompileCache") -> List[BatchResult]:
-        compiled = []
-        for job in batch:
-            model = get_model(job.model_name)
-            compiled.append(tuple(compile_cache.get(program, model)
-                                  for program in job.programs))
+        tm = _tm()
+        with tm.span("batch/compile", {"lanes": len(batch)}):
+            compiled = []
+            for job in batch:
+                model = get_model(job.model_name)
+                compiled.append(tuple(compile_cache.get(program, model)
+                                      for program in job.programs))
 
         arch: List[Optional[object]] = [None] * len(batch)
         if any(job.archtrace for job in batch):
@@ -201,22 +242,27 @@ class BatchRunner:
                     for job in batch]
 
         try:
-            engine = BatchEngine(batch, compiled,
-                                 reference_fabric=self.reference_fabric,
-                                 arch=arch)
-            engine.run()
+            with tm.span("batch/step", {"lanes": len(batch)}):
+                engine = BatchEngine(batch, compiled,
+                                     reference_fabric=self.reference_fabric,
+                                     arch=arch)
+                engine.run()
         except Exception:
             # engine bug or unanticipated envelope escape: never lose a
             # result — rerun the whole group on the reference kernel
-            return [self._run_scalar(job, backend="scalar-fallback",
-                                     reason="engine error")
-                    for job in batch]
+            tm.inc("batch/fallback", len(batch),
+                   labels={"reason": "engine error"})
+            with tm.span("batch/fallback", {"jobs": len(batch)}):
+                return [self._run_scalar(job, backend="scalar-fallback",
+                                         reason="engine error")
+                        for job in batch]
 
         out = []
         for lane, job in enumerate(batch):
             if engine.lane_deadlocked[lane]:
                 # reproduce the genuine DeadlockError (identical cycle,
                 # identical message) on the reference kernel
+                tm.inc("batch/fallback", labels={"reason": "deadlock"})
                 out.append(self._run_scalar(job, backend="scalar-fallback",
                                             reason="deadlock"))
                 continue

@@ -70,6 +70,15 @@ MIN_ELAPSED_SECONDS = 1e-9
 EMA_ALPHA = 0.3
 
 
+def _tm():
+    """Campaign telemetry, imported lazily: ``repro.obs`` reaches back
+    into ``repro.sim`` for trace types, so a module-level import here
+    would be a cycle.  The telemetry package itself is stdlib-only and
+    cheap; the first call pays the import, the rest hit sys.modules."""
+    from ..obs import telemetry
+    return telemetry
+
+
 def derive_seed(master_seed: int, index: int, stream: str = "") -> int:
     """A stable per-item seed from a master seed and an item index.
 
@@ -123,6 +132,12 @@ class SweepProgress:
     eta_seconds: Optional[float]       # None until a rate is measurable
     jobs: int
     workers: Dict[str, WorkerStats]
+    #: worst chunk queue wait observed so far (seconds between the
+    #: parent submitting a chunk and a worker starting it), derived
+    #: from the workers' shipped chunk spans; 0.0 when telemetry is
+    #: off or the sweep is serial.  A growing value means the pool is
+    #: oversubscribed relative to chunk granularity.
+    queue_wait_seconds: float = 0.0
 
     @property
     def fraction(self) -> float:
@@ -165,6 +180,12 @@ def format_duration(seconds: Optional[float]) -> str:
 class ProgressMeter:
     """Renders :class:`SweepProgress` samples as a single live line.
 
+    The carriage-return live line only appears on a real terminal; on a
+    redirected stream (CI logs, pipes) the per-chunk updates are
+    suppressed and :meth:`finish` prints one clean summary line — item
+    count, wall time, rate, pool utilization — instead of leaving a
+    ``\\r``-riddled partial line in the log.
+
     Usable directly as a ``telemetry=`` callback::
 
         meter = ProgressMeter(label="verify")
@@ -178,15 +199,31 @@ class ProgressMeter:
         self.stream = stream if stream is not None else sys.stderr
         self.last: Optional[SweepProgress] = None
 
+    def _interactive(self) -> bool:
+        isatty = getattr(self.stream, "isatty", None)
+        try:
+            return bool(isatty()) if isatty is not None else False
+        except (OSError, ValueError):  # pragma: no cover - closed stream
+            return False
+
     def __call__(self, progress: SweepProgress) -> None:
         self.last = progress
-        print(f"\r  {self.label}: {progress.describe()}",
-              end="", file=self.stream, flush=True)
+        if self._interactive():
+            print(f"\r  {self.label}: {progress.describe()}",
+                  end="", file=self.stream, flush=True)
 
     def finish(self) -> None:
-        """Terminate the live line (call once after the sweep returns)."""
-        if self.last is not None:
-            print(file=self.stream)
+        """Print the final summary line (call once after the sweep
+        returns); silent when no sample ever arrived."""
+        if self.last is None:
+            return
+        p = self.last
+        prefix = "\r" if self._interactive() else ""
+        summary = (f"{self.label}: {p.describe()} "
+                   f"in {format_duration(p.elapsed_seconds)}")
+        if p.queue_wait_seconds > 0.0:
+            summary += f" (max queue wait {p.queue_wait_seconds:.2f}s)"
+        print(f"{prefix}  {summary}", file=self.stream, flush=True)
 
 
 @dataclass
@@ -231,13 +268,10 @@ def _chunk_indices(total: int, chunk_size: int) -> List[Tuple[int, int]]:
             for start in range(0, total, chunk_size)]
 
 
-def _run_chunk(worker: Optional[SweepWorker], start: int,
-               items: Sequence[Any], record_errors: bool,
-               chunk_worker: Optional[ChunkWorker] = None,
-               ) -> Tuple[str, float, List[Any]]:
-    """Executed inside a worker process: map ``worker`` over one chunk,
-    or hand the whole chunk to ``chunk_worker`` at once."""
-    t0 = time.perf_counter()
+def _chunk_body(worker: Optional[SweepWorker], start: int,
+                items: Sequence[Any], record_errors: bool,
+                chunk_worker: Optional[ChunkWorker]) -> List[Any]:
+    """The chunk's actual work, shared by both telemetry modes."""
     if chunk_worker is not None:
         try:
             out = list(chunk_worker(items))
@@ -252,7 +286,7 @@ def _run_chunk(worker: Optional[SweepWorker], start: int,
             raise ConfigurationError(
                 f"chunk worker returned {len(out)} result(s) for "
                 f"{len(items)} item(s)")
-        return f"pid{os.getpid()}", time.perf_counter() - t0, out
+        return out
     assert worker is not None
     out = []
     for offset, item in enumerate(items):
@@ -265,7 +299,48 @@ def _run_chunk(worker: Optional[SweepWorker], start: int,
                                       message=str(exc)))
         else:
             out.append(worker(item))
-    return f"pid{os.getpid()}", time.perf_counter() - t0, out
+    return out
+
+
+def _run_chunk(worker: Optional[SweepWorker], start: int,
+               items: Sequence[Any], record_errors: bool,
+               chunk_worker: Optional[ChunkWorker] = None,
+               ctx: Optional[Dict[str, Any]] = None,
+               ) -> Tuple[str, float, List[Any], Optional[Dict[str, Any]]]:
+    """Executed inside a worker process: map ``worker`` over one chunk,
+    or hand the whole chunk to ``chunk_worker`` at once.
+
+    ``ctx`` is the parent's telemetry context (present only when the
+    parent had campaign telemetry enabled at submit time).  The chunk
+    then runs inside a fresh :func:`repro.obs.telemetry.collect` scope —
+    fresh so consecutive chunks in the same long-lived worker process
+    never double-count — and the scope's metrics and spans come back as
+    the 4th element of the return tuple for the parent to absorb.  The
+    chunk span's wall-clock start minus the parent's submit stamp is the
+    chunk's *queue wait*, shipped alongside.
+    """
+    worker_id = f"pid{os.getpid()}"
+    if ctx is None:
+        t0 = time.perf_counter()
+        out = _chunk_body(worker, start, items, record_errors, chunk_worker)
+        return worker_id, time.perf_counter() - t0, out, None
+
+    tm = _tm()
+    with tm.collect() as scope:
+        queue_wait = max(
+            0.0, (tm.spans.now_us() - ctx["submit_us"]) / 1e6)
+        t0 = time.perf_counter()
+        with tm.span("sweep/chunk", {"start": start, "items": len(items),
+                                     "queue_wait_seconds": round(queue_wait, 6)}):
+            out = _chunk_body(worker, start, items, record_errors,
+                              chunk_worker)
+        busy = time.perf_counter() - t0
+        tm.inc("sweep/chunks")
+        tm.inc("sweep/items", len(items))
+        tm.observe("sweep/chunk_busy_seconds", busy)
+    shipment = scope.shipment()
+    shipment["queue_wait_seconds"] = queue_wait
+    return worker_id, busy, out, shipment
 
 
 def default_chunk_size(total: int, jobs: int) -> int:
@@ -319,6 +394,9 @@ def run_sweep(
     size = chunk_size or default_chunk_size(total, jobs)
     ranges = _chunk_indices(total, size)
 
+    tm = _tm()
+    instrumented = tm.enabled()
+
     t0 = time.perf_counter()
     slots: List[Any] = [None] * total
     workers: Dict[str, WorkerStats] = {}
@@ -326,6 +404,7 @@ def run_sweep(
     effective_jobs = 1 if (jobs == 1 or total <= 1) else jobs
     ema_rate = 0.0
     last_sample = (t0, 0)  # (wall time, items done) at the last sample
+    max_queue_wait = 0.0
 
     def emit_telemetry() -> None:
         nonlocal ema_rate, last_sample
@@ -344,44 +423,69 @@ def run_sweep(
         telemetry(SweepProgress(
             done=done, total=total, elapsed_seconds=now - t0,
             items_per_second=ema_rate, eta_seconds=eta,
-            jobs=effective_jobs, workers=dict(workers)))
+            jobs=effective_jobs, workers=dict(workers),
+            queue_wait_seconds=max_queue_wait))
 
     def account(worker_id: str, busy: float, start: int, stop: int,
-                chunk_results: List[Any]) -> None:
-        nonlocal done
+                chunk_results: List[Any],
+                shipment: Optional[Dict[str, Any]]) -> None:
+        nonlocal done, max_queue_wait
         slots[start:stop] = chunk_results
         stats = workers.setdefault(worker_id, WorkerStats(worker_id=worker_id))
         stats.items += stop - start
         stats.chunks += 1
         stats.busy_seconds += busy
         done += stop - start
+        if shipment is not None:
+            tm.absorb(shipment)
+            queue_wait = float(shipment.get("queue_wait_seconds", 0.0))
+            if queue_wait > max_queue_wait:
+                max_queue_wait = queue_wait
+                tm.set_gauge("sweep/queue_wait_seconds", max_queue_wait)
         if progress is not None:
             progress(done, total)
         if telemetry is not None:
             emit_telemetry()
 
     if jobs == 1 or total <= 1:
-        for start, stop in ranges:
-            worker_id, busy, chunk_results = _run_chunk(
-                worker, start, items[start:stop], record, chunk_worker)
-            account("serial", busy, start, stop, chunk_results)
+        with tm.span("sweep/run", {"items": total, "jobs": 1}):
+            for start, stop in ranges:
+                if instrumented:
+                    with tm.span("sweep/chunk",
+                                 {"start": start, "items": stop - start}):
+                        worker_id, busy, chunk_results, _ = _run_chunk(
+                            worker, start, items[start:stop], record,
+                            chunk_worker)
+                    tm.inc("sweep/chunks")
+                    tm.inc("sweep/items", stop - start)
+                    tm.observe("sweep/chunk_busy_seconds", busy)
+                else:
+                    worker_id, busy, chunk_results, _ = _run_chunk(
+                        worker, start, items[start:stop], record,
+                        chunk_worker)
+                account("serial", busy, start, stop, chunk_results, None)
         return SweepResult(results=slots,
                            elapsed_seconds=time.perf_counter() - t0,
                            jobs=1, chunk_size=size, workers=workers)
 
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        pending = {
-            pool.submit(_run_chunk, worker, start, items[start:stop], record,
-                        chunk_worker):
-            (start, stop)
-            for start, stop in ranges
-        }
-        while pending:
-            finished, _ = wait(pending, return_when=FIRST_COMPLETED)
-            for future in finished:
-                start, stop = pending.pop(future)
-                worker_id, busy, chunk_results = future.result()
-                account(worker_id, busy, start, stop, chunk_results)
+    with tm.span("sweep/run", {"items": total, "jobs": jobs,
+                               "chunks": len(ranges)}):
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            pending = {
+                pool.submit(_run_chunk, worker, start, items[start:stop],
+                            record, chunk_worker,
+                            ({"submit_us": tm.spans.now_us()}
+                             if instrumented else None)):
+                (start, stop)
+                for start, stop in ranges
+            }
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    start, stop = pending.pop(future)
+                    worker_id, busy, chunk_results, shipment = future.result()
+                    account(worker_id, busy, start, stop, chunk_results,
+                            shipment)
     return SweepResult(results=slots,
                        elapsed_seconds=time.perf_counter() - t0,
                        jobs=jobs, chunk_size=size, workers=workers)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..consistency.litmus import STANDARD_TESTS
@@ -100,6 +101,21 @@ def build_parser() -> argparse.ArgumentParser:
                              "EMA rate, ETA, worker utilization")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress progress output")
+    parser.add_argument("--stats-json", metavar="FILE", default=None,
+                        help="write the campaign metrics snapshot (legs, "
+                             "compile-memo hits, fallback reasons) as JSON")
+    parser.add_argument("--prometheus", metavar="FILE", default=None,
+                        help="write the campaign metrics in the Prometheus "
+                             "text exposition format")
+    parser.add_argument("--trace-spans", metavar="FILE", default=None,
+                        help="write the campaign's orchestration spans "
+                             "(parent + workers, one merged timeline) as "
+                             "Perfetto trace_event JSON")
+    parser.add_argument("--ledger", metavar="FILE", default=None,
+                        help="run-ledger JSONL path (default: "
+                             "$REPRO_LEDGER or .repro/ledger.jsonl)")
+    parser.add_argument("--no-ledger", action="store_true",
+                        help="do not append this campaign to the run ledger")
     return parser
 
 
@@ -136,7 +152,12 @@ def run_fuzz(budget: int, jobs: int, seed: int,
              oracle: str = "all",
              suite: bool = False,
              backend: str = "scalar",
-             localize: bool = False) -> int:
+             localize: bool = False,
+             stats_json: Optional[str] = None,
+             prometheus: Optional[str] = None,
+             trace_spans: Optional[str] = None,
+             ledger_path: Optional[str] = None,
+             ledger: bool = True) -> int:
     """Fuzz ``budget`` seeds (or sweep the named suite); returns the
     process exit status.
 
@@ -144,7 +165,15 @@ def run_fuzz(budget: int, jobs: int, seed: int,
     live sweep meter (EMA rate, ETA, worker utilization).  ``oracle``
     selects the crosscheck legs (see module docstring); ``suite``
     checks every named standard litmus test instead of fuzzing.
+
+    Every campaign runs inside its own telemetry scope (a fresh
+    campaign-scoped registry + span tracer, so two campaigns in one
+    process never mix), exportable via ``stats_json`` /
+    ``prometheus`` / ``trace_spans``, and — unless ``ledger`` is off —
+    lands one content-addressed record in the run ledger.
     """
+    from ..obs import telemetry as tm
+
     gen_config = generator if generator is not None else GeneratorConfig()
     options: Dict[str, object] = {"generator": gen_config.to_dict(),
                                   "oracle": oracle,
@@ -168,10 +197,17 @@ def run_fuzz(budget: int, jobs: int, seed: int,
             chunk_worker = check_seed_chunk
 
     meter = ProgressMeter(label="verify") if telemetry and not quiet else None
-    sweep = run_sweep(worker, items, jobs=jobs, chunk_size=chunk_size,
-                      progress=None if meter else _progress_printer(quiet),
-                      telemetry=meter, on_error="record",
-                      chunk_worker=chunk_worker)
+    t0 = time.perf_counter()
+    with tm.collect(process="verify campaign") as scope:
+        with tm.span("verify/campaign",
+                     {"tests": total, "oracle": oracle, "backend": backend,
+                      "jobs": jobs}):
+            sweep = run_sweep(worker, items, jobs=jobs, chunk_size=chunk_size,
+                              progress=None if meter else
+                              _progress_printer(quiet),
+                              telemetry=meter, on_error="record",
+                              chunk_worker=chunk_worker)
+    wall = time.perf_counter() - t0
     if meter is not None:
         meter.finish()
 
@@ -253,16 +289,74 @@ def run_fuzz(budget: int, jobs: int, seed: int,
         print(f"wrote {len(corpus.entries)} corpus entr(ies) to {corpus_path}")
 
     sim_enum, sim_ax, ax_enum = _oracle_counters(failures)
-    if failures or crashes:
+    status = 1 if failures or crashes else 0
+
+    artifacts: Dict[str, str] = {}
+    if corpus.entries and corpus_path:
+        artifacts["corpus"] = corpus_path
+    if stats_json:
+        scope.metrics.write_json(stats_json)
+        artifacts["stats_json"] = stats_json
+        if not quiet:
+            print(f"campaign metrics snapshot written to {stats_json}")
+    if prometheus:
+        scope.metrics.write_prometheus(prometheus)
+        artifacts["prometheus"] = prometheus
+        if not quiet:
+            print(f"Prometheus exposition written to {prometheus}")
+    if trace_spans:
+        scope.spans.write_perfetto(trace_spans, label="verify campaign")
+        artifacts["trace_spans"] = trace_spans
+        if not quiet:
+            print(f"campaign span trace written to {trace_spans}")
+
+    if ledger:
+        from ..obs import ledger as ledger_mod
+
+        # execution shape (jobs, chunking) deliberately excluded: it
+        # cannot change the campaign's outcome, and this hash is the
+        # future result-cache key
+        request: Dict[str, object] = {
+            "kind": "suite" if suite else "fuzz",
+            "budget": None if suite else budget,
+            "master_seed": None if suite else seed,
+            "generator": gen_config.to_dict(),
+            "oracle": oracle,
+            "backend": backend,
+            "fault": fault,
+        }
+        record = ledger_mod.make_record(
+            kind="fuzz",
+            request=request,
+            outcome={
+                "status": status,
+                "tests": total,
+                "simulator_runs": total_runs,
+                "failures": len(failures),
+                "crashes": len(crashes),
+                "sim_vs_enumerator": sim_enum,
+                "sim_vs_axiomatic": sim_ax,
+                "axiomatic_vs_enumerator": ax_enum,
+            },
+            wall_seconds=wall,
+            items=total_runs,
+            artifacts=artifacts,
+        )
+        path = ledger_mod.append_record(record, ledger_path)
+        if not quiet:
+            print(f"ledger: {record['kind']} "
+                  f"{str(record['request_sha256'])[:12]}.. -> {path}")
+
+    if status:
         print(f"verify: FAILED ({len(failures)} failing test(s), "
               f"{len(crashes)} crash(es); sim-vs-enumerator {sim_enum}, "
               f"sim-vs-axiomatic {sim_ax}, "
               f"axiomatic-vs-enumerator {ax_enum})")
-        return 1
+        return status
     if not quiet:
         print(f"verify: OK ({total} test(s), {total_runs} run(s), "
               f"0 divergences, 0 oracle disagreements)")
-    return 0
+    return status
 
 
 def run_replay(path: str, quiet: bool = False) -> int:
@@ -298,6 +392,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         suite=args.suite,
         backend=args.backend,
         localize=args.localize,
+        stats_json=args.stats_json,
+        prometheus=args.prometheus,
+        trace_spans=args.trace_spans,
+        ledger_path=args.ledger,
+        ledger=not args.no_ledger,
     )
 
 

@@ -43,6 +43,12 @@ from ..system.machine import run_workload
 #: and more robustly than model instances)
 MODEL_NAMES: Tuple[str, ...] = ("SC", "PC", "WC", "RC")
 
+
+def _tm():
+    """Campaign telemetry, imported lazily (cycle-safe, stdlib-only)."""
+    from ..obs import telemetry
+    return telemetry
+
 #: which oracle legs the harness runs — see the module docstring
 ORACLE_MODES: Tuple[str, ...] = ("sim", "axiomatic", "all")
 
@@ -293,6 +299,7 @@ def check_test(test: LitmusTest, config: HarnessConfig = HarnessConfig(),
     _validate(config)
     if config.fault is not None:
         apply_fault(config.fault)
+    _tm().inc("verify/tests")
     out = CheckResult(index=index, seed=seed, test_name=test.name)
     reference, axiomatic = _static_oracles(test, config, out)
     if config.oracle in ("sim", "all"):
@@ -357,12 +364,15 @@ def _classify_outcomes(test: LitmusTest, out: CheckResult,
                        reference: Dict[str, FrozenSet[Outcome]],
                        axiomatic: Dict[str, FrozenSet[Outcome]]) -> None:
     """Check each observed outcome against the oracle sets."""
+    tm = _tm()
     for (model_name, prefetch, speculation, run_config), observed in zip(
             legs, outcomes):
         permitted = reference[model_name]
         ax_permitted = axiomatic.get(model_name)
         out.num_runs += 1
+        tm.inc("verify/legs")
         if observed not in permitted:
+            tm.inc("verify/divergences", labels={"oracle": "enumerator"})
             out.divergences.append(Divergence(
                 test_name=test.name,
                 model=model_name,
@@ -376,6 +386,7 @@ def _classify_outcomes(test: LitmusTest, out: CheckResult,
         elif ax_permitted is not None and observed not in ax_permitted:
             # only reachable while the static oracles disagree:
             # the simulator sided with the enumerator
+            tm.inc("verify/divergences", labels={"oracle": "axiomatic"})
             out.divergences.append(Divergence(
                 test_name=test.name,
                 model=model_name,
@@ -518,40 +529,44 @@ def check_seed_chunk(
     from ..sim.sweep import SweepError
     from .generator import GeneratorConfig, generate_litmus
 
+    tm = _tm()
     results: List[object] = []
     all_jobs: List[object] = []
     # (slot, test, out, legs, audit_maps, reference, axiomatic, job_lo)
     pending: List[tuple] = []
-    for item in items:
-        index, seed, options = item
-        try:
-            gen_config = GeneratorConfig.from_dict(
-                dict(options.get("generator", {})))  # type: ignore[arg-type]
-            harness = HarnessConfig(
-                fault=options.get("fault"),  # type: ignore[arg-type]
-                oracle=str(options.get("oracle", "all")),
-                backend="batched",
-            )
-            _validate(harness)
-            if harness.fault is not None:
-                apply_fault(harness.fault)
-            test = generate_litmus(seed, gen_config)
-            out = CheckResult(index=index, seed=seed, test_name=test.name)
-            reference, axiomatic = _static_oracles(test, harness, out)
-            results.append(out)
-            if harness.oracle in ("sim", "all"):
-                legs = _sim_legs(harness)
-                jobs, audit_maps = _legs_to_jobs(test, legs)
-                pending.append((len(results) - 1, test, out, legs,
-                                audit_maps, reference, axiomatic,
-                                len(all_jobs)))
-                all_jobs.extend(jobs)
-        except Exception as exc:  # noqa: BLE001 - mirrors _run_chunk
-            results.append(SweepError(item_index=index,
-                                      error_type=type(exc).__name__,
-                                      message=str(exc)))
+    with tm.span("verify/seed_chunk", {"items": len(items)}) as chunk_args:
+        for item in items:
+            index, seed, options = item
+            try:
+                gen_config = GeneratorConfig.from_dict(
+                    dict(options.get("generator", {})))  # type: ignore[arg-type]
+                harness = HarnessConfig(
+                    fault=options.get("fault"),  # type: ignore[arg-type]
+                    oracle=str(options.get("oracle", "all")),
+                    backend="batched",
+                )
+                _validate(harness)
+                if harness.fault is not None:
+                    apply_fault(harness.fault)
+                test = generate_litmus(seed, gen_config)
+                tm.inc("verify/tests")
+                out = CheckResult(index=index, seed=seed, test_name=test.name)
+                reference, axiomatic = _static_oracles(test, harness, out)
+                results.append(out)
+                if harness.oracle in ("sim", "all"):
+                    legs = _sim_legs(harness)
+                    jobs, audit_maps = _legs_to_jobs(test, legs)
+                    pending.append((len(results) - 1, test, out, legs,
+                                    audit_maps, reference, axiomatic,
+                                    len(all_jobs)))
+                    all_jobs.extend(jobs)
+            except Exception as exc:  # noqa: BLE001 - mirrors _run_chunk
+                results.append(SweepError(item_index=index,
+                                          error_type=type(exc).__name__,
+                                          message=str(exc)))
+        chunk_args["lanes"] = len(all_jobs)
 
-    batch_results = BatchRunner().run(all_jobs) if all_jobs else []
+        batch_results = BatchRunner().run(all_jobs) if all_jobs else []
     for (slot, test, out, legs, audit_maps, reference, axiomatic,
          job_lo) in pending:
         try:

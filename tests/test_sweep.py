@@ -221,3 +221,63 @@ class TestChunkSizing:
     def test_never_below_one(self):
         assert default_chunk_size(2, 8) == 1
         assert default_chunk_size(0, 4) == 1
+
+
+class TestCampaignTelemetry:
+    """Sweep instrumentation via `repro.obs.telemetry` (off by default)."""
+
+    def test_queue_wait_zero_when_telemetry_off(self):
+        samples = []
+        run_sweep(square, list(range(8)), jobs=2, chunk_size=2,
+                  telemetry=samples.append)
+        assert all(s.queue_wait_seconds == 0.0 for s in samples)
+
+    def test_serial_instrumented_counts_items_and_chunks(self):
+        from repro.obs import telemetry as tm
+        with tm.collect(process="sweep test") as scope:
+            run_sweep(square, list(range(10)), jobs=1, chunk_size=3)
+        assert scope.metrics.counter_value("sweep/items") == 10
+        assert scope.metrics.counter_value("sweep/chunks") == 4
+        names = [s["name"] for s in scope.spans.spans]
+        assert "sweep/run" in names
+        assert names.count("sweep/chunk") == 4
+
+    def test_parallel_instrumented_merges_worker_spans(self):
+        import os
+
+        from repro.obs import telemetry as tm
+        from repro.obs.perfetto import validate_trace_events
+        with tm.collect(process="sweep test") as scope:
+            samples = []
+            run_sweep(square, list(range(12)), jobs=2, chunk_size=3,
+                      telemetry=samples.append)
+        assert scope.metrics.counter_value("sweep/items") == 12
+        assert scope.metrics.gauge_value("sweep/queue_wait_seconds") >= 0.0
+        assert samples[-1].queue_wait_seconds >= 0.0
+        events = scope.spans.to_trace_events()
+        assert validate_trace_events({"traceEvents": events}) == []
+        chunk_pids = {e["pid"] for e in events
+                      if e.get("ph") == "X" and e["name"] == "sweep/chunk"}
+        assert chunk_pids, "worker chunk spans must ship back to the parent"
+        assert os.getpid() not in chunk_pids
+
+    def test_meter_non_tty_prints_single_summary_line(self):
+        stream = io.StringIO()  # isatty() is False: no live \r updates
+        meter = ProgressMeter(label="demo", stream=stream)
+        run_sweep(square, list(range(6)), jobs=1, chunk_size=2,
+                  telemetry=meter)
+        meter.finish()
+        text = stream.getvalue()
+        assert "\r" not in text
+        assert text.count("\n") == 1
+        assert "demo: 6/6 (100%)" in text
+        assert " in " in text
+
+    def test_meter_summary_mentions_queue_wait_when_nonzero(self):
+        stream = io.StringIO()
+        meter = ProgressMeter(label="demo", stream=stream)
+        meter(SweepProgress(done=4, total=4, elapsed_seconds=1.0,
+                            items_per_second=4.0, eta_seconds=0.0, jobs=2,
+                            workers={}, queue_wait_seconds=0.75))
+        meter.finish()
+        assert "max queue wait 0.75s" in stream.getvalue()

@@ -1,0 +1,246 @@
+"""Campaign telemetry substrate: metrics registry, spans, shipping.
+
+Covers the exposition-format conformance the ISSUE pins down (label
+escaping, histogram bucket monotonicity), merge associativity across
+worker orderings (counters add, gauges max), the collect/absorb
+shipping protocol, and Perfetto validity of merged multi-process span
+traces.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import telemetry as tm
+from repro.obs.perfetto import validate_trace_events
+from repro.obs.telemetry.metrics import prometheus_name
+
+
+class TestPrometheusExposition:
+    def test_counter_gets_total_suffix_and_type_line(self):
+        reg = tm.MetricsRegistry()
+        reg.inc("sweep/items", 7)
+        text = reg.to_prometheus()
+        assert "# TYPE repro_sweep_items_total counter" in text
+        assert "repro_sweep_items_total 7" in text
+
+    def test_name_sanitization(self):
+        assert prometheus_name("batch/compile-memo.hit") == \
+            "repro_batch_compile_memo_hit"
+
+    def test_label_value_escaping(self):
+        reg = tm.MetricsRegistry()
+        reg.inc("batch/fallback",
+                labels={"reason": 'cache "x\\y"\nprotocol'})
+        text = reg.to_prometheus()
+        # Prometheus text format: \ -> \\, " -> \", newline -> \n
+        assert 'reason="cache \\"x\\\\y\\"\\nprotocol"' in text
+        assert "\nrepro_batch_fallback_total{" in text
+
+    def test_label_sets_sorted_and_deterministic(self):
+        a = tm.MetricsRegistry()
+        b = tm.MetricsRegistry()
+        a.inc("x", labels={"b": "2", "a": "1"})
+        b.inc("x", labels={"a": "1", "b": "2"})
+        assert a.to_prometheus() == b.to_prometheus()
+        assert 'x_total{a="1",b="2"}' in a.to_prometheus()
+
+    def test_histogram_buckets_cumulative_and_monotonic(self):
+        reg = tm.MetricsRegistry()
+        for v in (0.0005, 0.003, 0.003, 1.5, 120.0):
+            reg.observe("sweep/chunk_busy_seconds", v)
+        text = reg.to_prometheus()
+        assert "# TYPE repro_sweep_chunk_busy_seconds histogram" in text
+        counts = []
+        for line in text.splitlines():
+            if line.startswith("repro_sweep_chunk_busy_seconds_bucket"):
+                counts.append(float(line.rsplit(" ", 1)[1]))
+        assert counts, "no bucket lines rendered"
+        assert counts == sorted(counts), "buckets must be cumulative"
+        assert 'le="+Inf"' in text
+        # +Inf bucket == _count == number of observations
+        assert counts[-1] == 5
+        assert "repro_sweep_chunk_busy_seconds_count 5" in text
+        assert "repro_sweep_chunk_busy_seconds_sum" in text
+
+    def test_gauge_type_line(self):
+        reg = tm.MetricsRegistry()
+        reg.set_gauge("sweep/queue_wait_seconds", 0.25)
+        text = reg.to_prometheus()
+        assert "# TYPE repro_sweep_queue_wait_seconds gauge" in text
+        assert "repro_sweep_queue_wait_seconds 0.25" in text
+
+    def test_negative_counter_increment_rejected(self):
+        reg = tm.MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.inc("x", -1)
+
+
+def _populate(reg, n):
+    reg.inc("legs", n)
+    reg.inc("fallback", n, labels={"reason": "deadlock"})
+    reg.set_gauge("queue_wait", n / 10.0)
+    for i in range(n):
+        reg.observe("busy", 0.001 * (i + 1))
+
+
+class TestMergeAssociativity:
+    def _regs(self):
+        regs = []
+        for n in (3, 5, 11):
+            reg = tm.MetricsRegistry()
+            _populate(reg, n)
+            regs.append(reg)
+        return regs
+
+    def _merged(self, order):
+        regs = self._regs()
+        acc = tm.MetricsRegistry()
+        for i in order:
+            acc.merge_from(regs[i])
+        return acc
+
+    @staticmethod
+    def _split_sums(text):
+        """Histogram ``_sum`` lines are float additions, so merge order
+        may shift the last ulp; everything else must match exactly."""
+        exact, sums = [], []
+        for line in text.splitlines():
+            if "_sum " in line and not line.startswith("#"):
+                name, value = line.rsplit(" ", 1)
+                sums.append((name, float(value)))
+            else:
+                exact.append(line)
+        return exact, sums
+
+    def test_worker_completion_order_is_irrelevant(self):
+        base_exact, base_sums = self._split_sums(
+            self._merged((0, 1, 2)).to_prometheus())
+        for order in ((2, 1, 0), (1, 0, 2), (2, 0, 1)):
+            exact, sums = self._split_sums(
+                self._merged(order).to_prometheus())
+            assert exact == base_exact
+            assert [n for n, _ in sums] == [n for n, _ in base_sums]
+            for (_, got), (_, want) in zip(sums, base_sums):
+                assert got == pytest.approx(want)
+
+    def test_counters_add_gauges_max(self):
+        acc = self._merged((1, 2, 0))
+        assert acc.counter_value("legs") == 19
+        assert acc.counter_value(
+            "fallback", labels={"reason": "deadlock"}) == 19
+        assert acc.gauge_value("queue_wait") == pytest.approx(1.1)
+
+    def test_associative_grouping(self):
+        regs = self._regs()
+        left = tm.MetricsRegistry()
+        left.merge_from(regs[0])
+        left.merge_from(regs[1])
+        left.merge_from(regs[2])
+        inner = tm.MetricsRegistry()
+        inner.merge_from(regs[1])
+        inner.merge_from(regs[2])
+        right = tm.MetricsRegistry()
+        right.merge_from(regs[0])
+        right.merge_from(inner)
+        assert left.snapshot() == right.snapshot()
+
+    def test_state_round_trip(self):
+        reg = tm.MetricsRegistry()
+        _populate(reg, 4)
+        clone = tm.MetricsRegistry.from_state(reg.to_state())
+        assert clone.to_prometheus() == reg.to_prometheus()
+        assert clone.snapshot() == reg.snapshot()
+
+    def test_state_is_json_serializable(self):
+        reg = tm.MetricsRegistry()
+        _populate(reg, 2)
+        rewired = json.loads(json.dumps(reg.to_state()))
+        assert tm.MetricsRegistry.from_state(
+            rewired).snapshot() == reg.snapshot()
+
+
+class TestShippingProtocol:
+    def test_disabled_module_calls_are_noops(self):
+        assert not tm.enabled()
+        before = len(tm.registry())
+        tm.inc("should/not/land")
+        tm.observe("nor/this", 1.0)
+        with tm.span("quiet") as args:
+            args["x"] = 1
+        assert len(tm.registry()) == before
+        assert not tm.enabled()
+
+    def test_collect_scope_isolates_and_restores(self):
+        outer_reg = tm.registry()
+        with tm.collect(process="test scope") as scope:
+            assert tm.enabled()
+            tm.inc("campaign/legs", 3)
+            with tm.span("campaign/chunk", {"items": 2}):
+                pass
+            assert tm.registry() is scope.metrics
+        assert tm.registry() is outer_reg
+        assert not tm.enabled()
+        assert scope.metrics.counter_value("campaign/legs") == 3
+        assert len(scope.spans) == 1
+
+    def test_nested_collect_does_not_double_count(self):
+        with tm.collect() as parent:
+            tm.inc("legs", 3)
+            with tm.collect() as child:
+                tm.inc("legs", 5)
+                shipment = child.shipment()
+            tm.absorb(shipment)
+            assert parent.metrics.counter_value("legs") == 8
+        assert child.metrics.counter_value("legs") == 5
+
+    def test_shipment_survives_json_round_trip(self):
+        with tm.collect(process="worker 1") as scope:
+            tm.inc("legs", 2)
+            with tm.span("chunk"):
+                pass
+        shipment = json.loads(json.dumps(scope.shipment()))
+        target = tm.MetricsRegistry()
+        tracer = tm.SpanTracer(process="parent")
+        tm.absorb(shipment, metrics_registry=target, span_tracer=tracer)
+        assert target.counter_value("legs") == 2
+        assert len(tracer) == 1
+
+
+class TestSpanTrace:
+    def _two_process_tracer(self):
+        parent = tm.SpanTracer(process="campaign")
+        with parent.span("verify/campaign", {"tests": 2}):
+            pass
+        worker = tm.SpanTracer(process="worker 0")
+        worker._pid = parent._pid + 1  # simulate a separate process
+        with worker.span("sweep/chunk", {"items": 1}):
+            pass
+        parent.absorb_state(worker.to_state())
+        return parent
+
+    def test_merged_trace_validates(self):
+        parent = self._two_process_tracer()
+        events = parent.to_trace_events()
+        assert validate_trace_events({"traceEvents": events}) == []
+
+    def test_process_name_metadata_per_pid(self):
+        events = self._two_process_tracer().to_trace_events()
+        names = {e["pid"]: e["args"]["name"] for e in events
+                 if e.get("ph") == "M" and e.get("name") == "process_name"}
+        assert sorted(names.values()) == ["campaign", "worker 0"]
+        pids = {e["pid"] for e in events if e.get("ph") == "X"}
+        assert len(pids) == 2
+
+    def test_timestamps_rebased_to_zero_origin(self):
+        events = self._two_process_tracer().to_trace_events()
+        xs = [e for e in events if e.get("ph") == "X"]
+        assert min(e["ts"] for e in xs) == 0
+
+    def test_write_perfetto(self, tmp_path):
+        path = tmp_path / "trace.json"
+        self._two_process_tracer().write_perfetto(
+            str(path), label="unit test")
+        obj = json.loads(path.read_text())
+        assert validate_trace_events(obj) == []
+        assert obj["otherData"]["label"] == "unit test"

@@ -258,3 +258,61 @@ class TestCli:
         for path_a, path_b in loc["artifacts"].values():
             assert Path(path_a).exists() and Path(path_b).exists()
             assert str(corpus_path) in path_a  # lands next to the corpus
+
+
+class TestCampaignTelemetryEndToEnd:
+    """ISSUE acceptance: one --jobs 4 campaign produces a merged
+    Perfetto trace that validates, a Prometheus snapshot whose leg
+    counter equals the reported leg count, and a ledger record whose
+    request hash is bit-identical across two identical invocations."""
+
+    CAMPAIGN = ("--budget", "4", "--seed", "0", "--jobs", "4",
+                "--no-minimize", "--quiet")
+
+    def _campaign(self, tmp_path, tag):
+        stats = tmp_path / f"stats-{tag}.json"
+        prom = tmp_path / f"metrics-{tag}.prom"
+        spans = tmp_path / f"spans-{tag}.json"
+        led = tmp_path / "ledger.jsonl"
+        proc = _run_verify(*self.CAMPAIGN,
+                           "--stats-json", str(stats),
+                           "--prometheus", str(prom),
+                           "--trace-spans", str(spans),
+                           "--ledger", str(led))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        return stats, prom, spans, led
+
+    @pytest.mark.slow
+    def test_campaign_artifacts_and_ledger_dedupe(self, tmp_path):
+        import json
+
+        from repro.obs import ledger as ledger_mod
+        from repro.obs.perfetto import validate_trace_events
+
+        stats, prom, spans, led = self._campaign(tmp_path, "a")
+
+        # merged multi-process span trace validates structurally
+        trace = json.loads(spans.read_text())
+        assert validate_trace_events(trace) == []
+        pids = {e["pid"] for e in trace["traceEvents"] if e.get("ph") == "X"}
+        assert len(pids) > 1, "worker spans must merge into one trace"
+
+        # leg counter == the leg count the ledger/harness reports
+        snapshot = json.loads(stats.read_text())
+        legs = snapshot["counters"]["verify/legs"]
+        records, skipped = ledger_mod.read_ledger(str(led))
+        assert skipped == 0 and len(records) == 1
+        assert records[0]["kind"] == "fuzz"
+        assert records[0]["items"] == legs
+        assert records[0]["outcome"]["simulator_runs"] == legs
+        assert f"repro_verify_legs_total {legs}" in prom.read_text()
+
+        # second identical invocation: bit-identical request hash,
+        # detected and reported as a dedupe hit
+        self._campaign(tmp_path, "b")
+        records, _ = ledger_mod.read_ledger(str(led))
+        assert len(records) == 2
+        assert records[0]["request_sha256"] == records[1]["request_sha256"]
+        stats_out = ledger_mod.ledger_stats(records)
+        assert stats_out["dedupe_hits"] == 1
+        assert stats_out["inconsistent_hits"] == 0
