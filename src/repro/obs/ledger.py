@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -36,7 +37,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 LEDGER_SCHEMA = "repro-ledger/1"
 
 #: record kinds the CLI knows how to summarize
-KNOWN_KINDS = ("fuzz", "sweep", "bench", "run", "breakdown")
+KNOWN_KINDS = ("fuzz", "sweep", "bench", "run", "breakdown", "serve")
 
 #: default ledger location, relative to the working directory;
 #: overridable with the REPRO_LEDGER environment variable
@@ -50,11 +51,37 @@ def default_ledger_path() -> str:
     return os.environ.get("REPRO_LEDGER") or DEFAULT_LEDGER
 
 
+def _canonicalize(obj: object) -> object:
+    """Map non-finite floats to explicit string sentinels.
+
+    ``json.dumps(allow_nan=False)`` raises on NaN/Infinity, and the
+    permissive default emits bare ``NaN`` tokens that are not JSON at
+    all — either way a single non-finite gauge (a NaN utilization on a
+    zero-worker run, say) would kill the ledger append and any
+    server-side request hashing built on it.  Canonicalization instead
+    rewrites them to ``"NaN"`` / ``"Infinity"`` / ``"-Infinity"``:
+    deterministic, round-trippable strings, so the hash stays stable
+    and the write path always produces valid JSON.
+    """
+    if isinstance(obj, float):
+        if math.isnan(obj):
+            return "NaN"
+        if math.isinf(obj):
+            return "Infinity" if obj > 0 else "-Infinity"
+        return obj
+    if isinstance(obj, dict):
+        return {key: _canonicalize(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canonicalize(value) for value in obj]
+    return obj
+
+
 def canonical_json(obj: object) -> str:
     """The canonical serialization the request hash is defined over:
-    sorted keys, no whitespace, no NaN/Infinity."""
-    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
-                      allow_nan=False)
+    sorted keys, no whitespace, non-finite floats as string sentinels
+    (see :func:`_canonicalize`)."""
+    return json.dumps(_canonicalize(obj), sort_keys=True,
+                      separators=(",", ":"), allow_nan=False)
 
 
 def request_hash(request: Mapping[str, object]) -> str:
@@ -68,9 +95,17 @@ def digest_outcome(outcome: Mapping[str, object]) -> str:
     return hashlib.sha256(canonical_json(outcome).encode()).hexdigest()[:16]
 
 
+#: memoized (found, sha) — a server appending one record per request
+#: must not pay a ``git rev-parse`` subprocess per request
+_GIT_SHA_CACHE: Optional[Tuple[Optional[str]]] = None
+
+
 def _git_sha() -> Optional[str]:
-    from .perf import _git_sha as impl
-    return impl()
+    global _GIT_SHA_CACHE
+    if _GIT_SHA_CACHE is None:
+        from .perf import _git_sha as impl
+        _GIT_SHA_CACHE = (impl(),)
+    return _GIT_SHA_CACHE[0]
 
 
 def _host_info() -> Dict[str, object]:
@@ -118,18 +153,34 @@ def make_record(kind: str,
     return record
 
 
-def append_record(record: Mapping[str, object],
-                  path: Optional[str] = None) -> str:
-    """Append one record to the ledger (one line, one write); returns
-    the ledger path."""
-    ledger_path = path or default_ledger_path()
-    parent = os.path.dirname(ledger_path)
+def append_jsonl(obj: object, path: str) -> str:
+    """Append one object as one JSONL line with a single ``os.write``.
+
+    The file is opened ``O_APPEND`` and the whole line (including the
+    trailing newline) goes down in one ``write(2)``, so concurrent
+    appenders — a server handling many requests, parallel campaigns
+    sharing one ledger — never interleave mid-line.  A buffered
+    ``fh.write`` gives no such guarantee: the stdio layer may flush a
+    line in several syscalls, and two processes' fragments can then
+    interleave into garbage the tolerant reader has to skip.
+    """
+    parent = os.path.dirname(path)
     if parent:
         os.makedirs(parent, exist_ok=True)
-    line = json.dumps(record, sort_keys=True, separators=(",", ":"))
-    with open(ledger_path, "a") as fh:
-        fh.write(line + "\n")
-    return ledger_path
+    data = (canonical_json(obj) + "\n").encode()
+    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        os.write(fd, data)
+    finally:
+        os.close(fd)
+    return path
+
+
+def append_record(record: Mapping[str, object],
+                  path: Optional[str] = None) -> str:
+    """Append one record to the ledger (one line, one atomic write);
+    returns the ledger path."""
+    return append_jsonl(record, path or default_ledger_path())
 
 
 def validate_record(record: object) -> List[str]:
@@ -348,6 +399,7 @@ __all__ = [
     "DEFAULT_LEDGER",
     "KNOWN_KINDS",
     "LEDGER_SCHEMA",
+    "append_jsonl",
     "append_record",
     "canonical_json",
     "default_ledger_path",

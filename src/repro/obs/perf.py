@@ -250,6 +250,63 @@ def _case_sweep_probe(items: int, jobs: int) -> CaseFn:
     return fn
 
 
+def _case_serve_loadgen(count: int, clients: int, warm: bool) -> CaseFn:
+    """Closed-loop latency through the job server, cold or warm cache.
+
+    Each case owns one in-process :class:`~repro.serve.server.ServerThread`
+    (started lazily on the first repeat, ledger and request log off so
+    the bench is hermetic) and drives it with the deterministic loadgen
+    mix over the real wire protocol.  The *cold* case clears the result
+    store before every repeat, so every job pays a simulation; the
+    *warm* case primes the cache once and then measures pure
+    content-addressed hits.  The pair is the serving analogue of the
+    ``fuzz_batched`` / ``fuzz_scalar_jobs`` throughput pair: same jobs,
+    two code paths, directly comparable wall times.
+    """
+    state: Dict[str, object] = {}
+
+    def fn() -> Dict[str, int]:
+        import tempfile
+
+        from ..serve import (
+            ResultStore,
+            ServeServer,
+            ServerThread,
+            build_job_mix,
+            run_closed_loop,
+        )
+
+        if "endpoint" not in state:
+            from . import telemetry as tm
+
+            root = tempfile.mkdtemp(prefix="repro-serve-bench-")
+            server = ServeServer(store=ResultStore(root),
+                                 executor_kind="serial",
+                                 ledger=False, request_log=False)
+            state["server"] = server
+            # the server lives until process exit (daemon thread), so
+            # undo its global telemetry enable here rather than at
+            # aclose() — later bench cases must run unperturbed
+            prev_telemetry = tm.enabled()
+            state["endpoint"] = ServerThread(server).start()
+            tm.enable(prev_telemetry)
+        server = state["server"]  # type: ignore[assignment]
+        host, port = state["endpoint"]  # type: ignore[misc]
+        jobs = build_job_mix(count, seed=7)
+        if warm:
+            if not state.get("primed"):
+                run_closed_loop(host, port, jobs, clients=clients)
+                state["primed"] = True
+        else:
+            server.store.clear()  # type: ignore[attr-defined]
+        report = run_closed_loop(host, port, jobs, clients=clients)
+        if report.errors:  # pragma: no cover - would be a real bug
+            raise RuntimeError(f"{report.errors} serve bench job(s) failed")
+        return {"cycles": 0, "instructions": 0, "items": report.completed}
+
+    return fn
+
+
 def default_suite(quick: bool = False) -> List[CaseSpec]:
     """The pinned benchmark suite (``--quick`` scales budgets down)."""
     return [
@@ -274,6 +331,16 @@ def default_suite(quick: bool = False) -> List[CaseSpec]:
         CaseSpec("sweep_probe",
                  "parallel sweep engine dispatch overhead (2 worker processes)",
                  _case_sweep_probe(items=64 if quick else 512, jobs=2)),
+        CaseSpec("serve_cold_cache",
+                 "job-server closed-loop latency, cold result cache "
+                 "(every job pays a simulation)",
+                 _case_serve_loadgen(count=8 if quick else 24, clients=2,
+                                     warm=False)),
+        CaseSpec("serve_warm_cache",
+                 "the same job mix answered from the content-addressed "
+                 "result cache (no simulator invocations)",
+                 _case_serve_loadgen(count=8 if quick else 24, clients=2,
+                                     warm=True)),
         # the lockstep pair runs last: its SoA tables inflate this
         # process's RSS, which would slow sweep_probe's fork() if it
         # ran first

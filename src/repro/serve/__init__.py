@@ -1,0 +1,53 @@
+"""Simulation-as-a-service: async job server, content-addressed
+result cache, client library, and load generator.
+
+The simulator is deterministic — the serial==parallel and
+scalar==batched differential suites pin it — so a simulation result
+is a pure function of its canonical request.  This package cashes
+that in: requests are hashed with the same
+:func:`repro.obs.ledger.request_hash` the run ledger uses, results
+are stored forever in a content-addressed
+:class:`~repro.serve.store.ResultStore`, and identical requests in
+flight coalesce onto one execution.  See ``docs/serving.md``.
+"""
+
+from .client import (
+    ServeClient,
+    ServeClientError,
+    ServeResult,
+    connect_with_retry,
+)
+from .executors import EXECUTOR_KINDS, make_executor
+from .loadgen import LoadgenReport, build_job_mix, run_closed_loop, run_open_loop
+from .protocol import (
+    JOB_SCHEMA,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    job_hash,
+    make_job,
+    normalize_job,
+)
+from .server import ServeServer, ServerThread
+from .store import ResultStore
+
+__all__ = [
+    "EXECUTOR_KINDS",
+    "JOB_SCHEMA",
+    "PROTOCOL_VERSION",
+    "LoadgenReport",
+    "ProtocolError",
+    "ResultStore",
+    "ServeClient",
+    "ServeClientError",
+    "ServeResult",
+    "ServeServer",
+    "ServerThread",
+    "build_job_mix",
+    "connect_with_retry",
+    "job_hash",
+    "make_job",
+    "make_executor",
+    "normalize_job",
+    "run_closed_loop",
+    "run_open_loop",
+]

@@ -1,0 +1,198 @@
+"""Pluggable executor pool: how cache misses actually run.
+
+Every executor is :func:`repro.sim.sweep.run_sweep` configured a
+different way, so the server inherits the sweep engine's whole
+contract for free — ordered results, per-item error containment
+(``on_error="record"``), worker utilization stats, and live
+:class:`~repro.sim.sweep.SweepProgress` telemetry that the server
+streams on to subscribed clients:
+
+* ``serial`` — in-process, one job at a time (``jobs=1``): the
+  lowest-latency path for small batches and the default;
+* ``pool`` — a ``ProcessPoolExecutor`` fan-out (``jobs=N``) via the
+  per-item :func:`execute_job` worker;
+* ``batched`` — the whole batch handed to one
+  :class:`~repro.sim.batch.runner.BatchRunner` call through the
+  sweep's ``chunk_worker`` contract, so in-envelope jobs step in
+  lockstep on the SoA engine while out-of-envelope jobs transparently
+  fall back to the scalar kernel *inside* the runner (bit-identical
+  results either way — the differential suite pins it).
+
+A failed job comes back as an ``{"error": {...}}`` marker rather than
+poisoning the batch; the server reports it to the submitting client
+and never caches it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..sim.sweep import SweepError, TelemetryCallback, run_sweep
+from .protocol import (
+    ProtocolError,
+    normalize_job,
+    resolve_test,
+    run_config_from_spec,
+)
+
+#: executor kinds the server and CLI know
+EXECUTOR_KINDS = ("serial", "pool", "batched")
+
+#: an executor: (canonical job specs, telemetry) -> one result per spec
+Executor = Callable[[Sequence[Mapping[str, object]],
+                     Optional[TelemetryCallback]], List[Dict[str, object]]]
+
+
+def _tm():
+    from ..obs import telemetry
+    return telemetry
+
+
+def _job_setup(spec: Mapping[str, object]):
+    """Shared leg construction, mirroring
+    :func:`repro.verify.harness.observed_outcome` exactly — the
+    determinism tests require a served result to be bit-identical to a
+    direct ``run_workload`` call with these same arguments."""
+    test = resolve_test(spec["test"])  # type: ignore[arg-type]
+    run_config = run_config_from_spec(spec["run_config"])  # type: ignore[arg-type]
+    addresses = test.addresses()
+    skew = tuple(run_config.skew[t % len(run_config.skew)]
+                 for t in range(len(test.threads)))
+    programs, audit_map = test.to_programs(delays=skew)
+    warm = []
+    if run_config.warm_shared:
+        warm = [(cpu, addr, False)
+                for cpu in range(len(test.threads))
+                for addr in addresses.values()]
+    initial_memory = {addr: 0 for addr in addresses.values()}
+    return test, run_config, programs, audit_map, warm, initial_memory
+
+
+def execute_job(spec: Mapping[str, object]) -> Dict[str, object]:
+    """Run one canonical job on the scalar kernel (picklable worker)."""
+    from ..consistency.models import get_model
+    from ..memory.types import CacheConfig
+    from ..system.machine import run_workload
+
+    spec = normalize_job(spec)
+    _test, run_config, programs, audit_map, warm, initial_memory = (
+        _job_setup(spec))
+    result = run_workload(
+        programs,
+        model=get_model(str(spec["model"])),
+        prefetch=bool(spec["prefetch"]),
+        speculation=bool(spec["speculation"]),
+        miss_latency=run_config.miss_latency,
+        initial_memory=initial_memory,
+        warm_lines=warm,
+        cache=CacheConfig(line_size=run_config.line_size),
+        max_cycles=run_config.max_cycles,
+    )
+    outcome = sorted((reg, result.machine.read_word(slot))
+                     for reg, slot in audit_map.items())
+    return {"outcome": [[reg, val] for reg, val in outcome],
+            "cycles": result.cycles}
+
+
+def execute_chunk(specs: Sequence[Mapping[str, object]]) -> List[object]:
+    """Chunk worker: one lockstep :class:`BatchRunner` call per batch.
+
+    Jobs outside the batch envelope (techniques on, branches, ...) are
+    routed back to the scalar kernel inside the runner itself, so every
+    spec gets a result and all results are bit-identical to
+    :func:`execute_job`'s.  Per-item failures come back as
+    :class:`~repro.sim.sweep.SweepError` slots, which is the sweep
+    engine's chunk-worker error contract.
+    """
+    from ..memory.types import CacheConfig
+    from ..sim.batch import BatchJob, BatchRunner
+
+    jobs: List[object] = []
+    audit_maps: List[Optional[Dict[str, int]]] = []
+    slots: List[object] = [None] * len(specs)
+    for i, raw in enumerate(specs):
+        try:
+            spec = normalize_job(raw)
+            _test, run_config, programs, audit_map, warm, initial_memory = (
+                _job_setup(spec))
+            jobs.append(BatchJob(
+                programs=programs,
+                model_name=str(spec["model"]),
+                prefetch=bool(spec["prefetch"]),
+                speculation=bool(spec["speculation"]),
+                miss_latency=run_config.miss_latency,
+                initial_memory=initial_memory,
+                warm_lines=tuple(warm),
+                cache=CacheConfig(line_size=run_config.line_size),
+                max_cycles=run_config.max_cycles,
+                key=i,
+            ))
+            audit_maps.append(audit_map)
+        except Exception as exc:  # noqa: BLE001 - per-item containment
+            slots[i] = SweepError(item_index=i,
+                                  error_type=type(exc).__name__,
+                                  message=str(exc))
+    results = BatchRunner().run(jobs) if jobs else []
+    for res, audit_map in zip(results, audit_maps):
+        i = res.job.key
+        try:
+            res.raise_if_error()
+            outcome = sorted((reg, res.read_word(slot))
+                             for reg, slot in audit_map.items())  # type: ignore[union-attr]
+            slots[i] = {"outcome": [[reg, val] for reg, val in outcome],
+                        "cycles": int(res.cycles)}  # type: ignore[arg-type]
+        except Exception as exc:  # noqa: BLE001 - per-item containment
+            slots[i] = SweepError(item_index=i,
+                                  error_type=type(exc).__name__,
+                                  message=str(exc))
+    return slots
+
+
+def _materialize(results: Sequence[object]) -> List[Dict[str, object]]:
+    """SweepError slots -> ``{"error": ...}`` markers the server (and
+    clients) understand; successful slots pass through."""
+    out: List[Dict[str, object]] = []
+    for slot in results:
+        if isinstance(slot, SweepError):
+            out.append({"error": {"type": slot.error_type,
+                                  "message": slot.message}})
+        else:
+            out.append(slot)  # type: ignore[arg-type]
+    return out
+
+
+def make_executor(kind: str, jobs: int = 1,
+                  chunk_size: Optional[int] = None) -> Executor:
+    """Build one of the three executors (see module docstring)."""
+    if kind not in EXECUTOR_KINDS:
+        raise ProtocolError(f"unknown executor {kind!r}; "
+                            f"available: {EXECUTOR_KINDS}")
+
+    def run(specs: Sequence[Mapping[str, object]],
+            telemetry: Optional[TelemetryCallback] = None,
+            ) -> List[Dict[str, object]]:
+        if not specs:
+            return []
+        _tm().inc("serve/simulations", len(specs))
+        if kind == "batched":
+            sweep = run_sweep(None, list(specs), jobs=1,
+                              chunk_size=chunk_size or len(specs),
+                              telemetry=telemetry, on_error="record",
+                              chunk_worker=execute_chunk)
+        else:
+            sweep = run_sweep(execute_job, list(specs),
+                              jobs=1 if kind == "serial" else max(1, jobs),
+                              chunk_size=chunk_size,
+                              telemetry=telemetry, on_error="record")
+        return _materialize(sweep.results)
+
+    return run
+
+
+__all__ = [
+    "EXECUTOR_KINDS",
+    "Executor",
+    "execute_chunk",
+    "execute_job",
+    "make_executor",
+]

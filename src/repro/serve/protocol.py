@@ -1,0 +1,297 @@
+"""Job specifications and the newline-delimited JSON wire protocol.
+
+One *job* is one simulation request — exactly the arguments of a
+single ``run_workload`` call, expressed as plain JSON so it can cross
+a socket, land in a ledger, and key a content-addressed cache:
+
+* a **test**: a named standard litmus test (``{"name": "sb"}``), a
+  generator seed (``{"seed": 7, "generator": {...}}``), or an inline
+  litmus dict (``{"litmus": {...}}`` in the corpus serialization);
+* a **model** (``"SC"``/``"PC"``/``"WC"``/``"RC"``) and the two
+  technique flags (``prefetch``, ``speculation``);
+* a **run_config**: the machine/environment knobs of
+  :class:`repro.verify.harness.RunConfig` (miss latency, per-thread
+  skews, warm-shared lines, line size, cycle budget).
+
+:func:`normalize_job` fills every default and validates, producing the
+**canonical job**: a fully-determined plain dict whose
+:func:`repro.obs.ledger.request_hash` is the cache key.  Everything
+result-determining is in the canonical form; nothing about execution
+shape (executor choice, batching, worker count) is, so a job served by
+the batched lockstep engine hashes — and must answer — identically to
+one served by a scalar in-process run.  Determinism is pinned by the
+differential suites, which is what makes results cacheable forever.
+
+Wire format: one JSON object per line (``\\n``-delimited, UTF-8), in
+both directions.  Client ops: ``submit``, ``stats``, ``metrics``,
+``ping``, ``shutdown``.  Server events: ``accepted``, ``progress``,
+``result``, plus one-shot responses.  See ``docs/serving.md`` for the
+full message catalogue.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..obs.ledger import request_hash
+from ..sim.errors import ConfigurationError
+
+#: bump when the canonical job layout changes incompatibly (the schema
+#: string is hashed with the job, so old cache entries can never alias
+#: new-format requests)
+JOB_SCHEMA = "repro-serve-job/1"
+
+#: wire protocol version, exchanged in ping/pong
+PROTOCOL_VERSION = "repro-serve/1"
+
+#: client -> server operations
+CLIENT_OPS = ("submit", "stats", "metrics", "ping", "shutdown")
+
+
+class ProtocolError(ValueError):
+    """A malformed message or job specification."""
+
+
+# ----------------------------------------------------------------------
+# Job canonicalization
+# ----------------------------------------------------------------------
+
+def _canonical_run_config(raw: Mapping[str, object]) -> Dict[str, object]:
+    from ..verify.harness import RunConfig
+
+    defaults = RunConfig(name="serve")
+    known = {"miss_latency", "skew", "warm_shared", "line_size",
+             "max_cycles", "name"}
+    unknown = set(raw) - known
+    if unknown:
+        raise ProtocolError(f"unknown run_config key(s): {sorted(unknown)}")
+    try:
+        skew = tuple(int(s) for s in raw.get("skew", defaults.skew))  # type: ignore[union-attr]
+    except (TypeError, ValueError):
+        raise ProtocolError(f"run_config.skew must be a list of ints, "
+                            f"got {raw.get('skew')!r}") from None
+    if not skew or any(s < 0 for s in skew):
+        raise ProtocolError("run_config.skew must be non-empty, all >= 0")
+    config = {
+        "miss_latency": int(raw.get("miss_latency", defaults.miss_latency)),  # type: ignore[call-overload]
+        "skew": list(skew),
+        "warm_shared": bool(raw.get("warm_shared", defaults.warm_shared)),
+        "line_size": int(raw.get("line_size", defaults.line_size)),  # type: ignore[call-overload]
+        "max_cycles": int(raw.get("max_cycles", defaults.max_cycles)),  # type: ignore[call-overload]
+    }
+    if config["miss_latency"] < 1:
+        raise ProtocolError("run_config.miss_latency must be >= 1")
+    if config["line_size"] < 1:
+        raise ProtocolError("run_config.line_size must be >= 1")
+    if config["max_cycles"] < 1:
+        raise ProtocolError("run_config.max_cycles must be >= 1")
+    # "name" is a display label, not result-determining: excluded from
+    # the canonical form so it can never split the cache
+    return config
+
+
+def _canonical_test(raw: Mapping[str, object]) -> Dict[str, object]:
+    keys = set(raw) & {"name", "seed", "litmus"}
+    if len(keys) != 1:
+        raise ProtocolError(
+            "test must have exactly one of 'name' (standard suite), "
+            f"'seed' (generator), or 'litmus' (inline); got {sorted(raw)}")
+    if "name" in keys:
+        from ..consistency.litmus import STANDARD_TESTS
+
+        name = str(raw["name"])
+        if name not in STANDARD_TESTS:
+            raise ProtocolError(f"unknown litmus test {name!r}; available: "
+                                f"{sorted(STANDARD_TESTS)}")
+        return {"name": name}
+    if "seed" in keys:
+        from ..verify.generator import GeneratorConfig
+
+        try:
+            seed = int(raw["seed"])  # type: ignore[call-overload]
+        except (TypeError, ValueError):
+            raise ProtocolError(f"test.seed must be an int, "
+                                f"got {raw['seed']!r}") from None
+        try:
+            gen = GeneratorConfig.from_dict(
+                dict(raw.get("generator", {})))  # type: ignore[arg-type]
+        except (TypeError, ConfigurationError) as exc:
+            raise ProtocolError(f"bad generator config: {exc}") from None
+        return {"seed": seed, "generator": gen.to_dict()}
+    from ..verify.corpus import litmus_from_dict, litmus_to_dict
+
+    try:
+        test = litmus_from_dict(dict(raw["litmus"]))  # type: ignore[arg-type]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad inline litmus test: {exc}") from None
+    return {"litmus": litmus_to_dict(test)}
+
+
+def normalize_job(job: Mapping[str, object]) -> Dict[str, object]:
+    """Validate a job and return its **canonical** form.
+
+    The canonical job is fully defaulted and key-sorted-at-hash-time;
+    two logically identical requests always canonicalize to the same
+    dict, so :func:`job_hash` is a stable content address.
+    """
+    if not isinstance(job, Mapping):
+        raise ProtocolError(f"job must be an object, "
+                            f"got {type(job).__name__}")
+    known = {"schema", "test", "model", "prefetch", "speculation",
+             "run_config"}
+    unknown = set(job) - known
+    if unknown:
+        raise ProtocolError(f"unknown job key(s): {sorted(unknown)}")
+    schema = job.get("schema", JOB_SCHEMA)
+    if schema != JOB_SCHEMA:
+        raise ProtocolError(f"job schema must be {JOB_SCHEMA!r}, "
+                            f"got {schema!r}")
+    test_raw = job.get("test")
+    if not isinstance(test_raw, Mapping):
+        raise ProtocolError("job.test must be an object")
+    from ..consistency.models import get_model
+
+    model = str(job.get("model", "SC"))
+    try:
+        get_model(model)
+    except (KeyError, ConfigurationError, ValueError):
+        raise ProtocolError(f"unknown model {model!r}") from None
+    run_config_raw = job.get("run_config", {})
+    if not isinstance(run_config_raw, Mapping):
+        raise ProtocolError("job.run_config must be an object")
+    return {
+        "schema": JOB_SCHEMA,
+        "test": _canonical_test(test_raw),
+        "model": model,
+        "prefetch": bool(job.get("prefetch", False)),
+        "speculation": bool(job.get("speculation", False)),
+        "run_config": _canonical_run_config(run_config_raw),
+    }
+
+
+def job_hash(job: Mapping[str, object]) -> str:
+    """The content-addressed cache key: SHA-256 of the canonical job."""
+    return request_hash(normalize_job(job))
+
+
+def resolve_test(spec: Mapping[str, object]):
+    """Materialize the canonical test spec as a :class:`LitmusTest`."""
+    if "name" in spec:
+        from ..consistency.litmus import STANDARD_TESTS
+
+        return STANDARD_TESTS[str(spec["name"])]()
+    if "seed" in spec:
+        from ..verify.generator import GeneratorConfig, generate_litmus
+
+        return generate_litmus(
+            int(spec["seed"]),  # type: ignore[call-overload]
+            GeneratorConfig.from_dict(dict(spec.get("generator", {}))))  # type: ignore[arg-type]
+    from ..verify.corpus import litmus_from_dict
+
+    return litmus_from_dict(dict(spec["litmus"]))  # type: ignore[arg-type]
+
+
+def run_config_from_spec(spec: Mapping[str, object]):
+    """The canonical run_config dict as a harness :class:`RunConfig`."""
+    from ..verify.harness import RunConfig
+
+    return RunConfig(
+        name="serve",
+        miss_latency=int(spec["miss_latency"]),  # type: ignore[call-overload]
+        skew=tuple(int(s) for s in spec["skew"]),  # type: ignore[union-attr]
+        warm_shared=bool(spec["warm_shared"]),
+        line_size=int(spec["line_size"]),  # type: ignore[call-overload]
+        max_cycles=int(spec["max_cycles"]),  # type: ignore[call-overload]
+    )
+
+
+def make_job(test: Mapping[str, object],
+             model: str = "SC",
+             prefetch: bool = False,
+             speculation: bool = False,
+             run_config: Optional[Mapping[str, object]] = None,
+             ) -> Dict[str, object]:
+    """Convenience constructor returning a canonical job."""
+    return normalize_job({
+        "test": test,
+        "model": model,
+        "prefetch": prefetch,
+        "speculation": speculation,
+        "run_config": run_config or {},
+    })
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+
+def validate_result(result: object) -> List[str]:
+    """Structural check of a job result; returns problems (empty = ok)."""
+    errors: List[str] = []
+    if not isinstance(result, dict):
+        return [f"result must be an object, got {type(result).__name__}"]
+    outcome = result.get("outcome")
+    if not isinstance(outcome, list) or not all(
+            isinstance(pair, (list, tuple)) and len(pair) == 2
+            and isinstance(pair[0], str) for pair in outcome):
+        errors.append("outcome must be a list of [register, value] pairs")
+    cycles = result.get("cycles")
+    if not isinstance(cycles, int) or isinstance(cycles, bool) or cycles < 0:
+        errors.append("cycles must be a non-negative integer")
+    return errors
+
+
+def outcome_pairs(result: Mapping[str, object]) -> Tuple[Tuple[str, int], ...]:
+    """The result's outcome in the harness's canonical tuple shape."""
+    return tuple(sorted((str(reg), int(val))  # type: ignore[call-overload]
+                        for reg, val in result["outcome"]))  # type: ignore[union-attr]
+
+
+# ----------------------------------------------------------------------
+# Wire framing
+# ----------------------------------------------------------------------
+
+#: refuse absurd frames before json-parsing them (a stray binary
+#: connection must not balloon memory)
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+def encode_message(message: Mapping[str, object]) -> bytes:
+    """One message -> one NDJSON line (UTF-8, trailing newline)."""
+    line = json.dumps(message, separators=(",", ":"), allow_nan=False)
+    if "\n" in line:  # pragma: no cover - json never emits raw newlines
+        raise ProtocolError("encoded message must be newline-free")
+    return line.encode() + b"\n"
+
+
+def decode_message(line: bytes) -> Dict[str, object]:
+    """One NDJSON line -> one message dict."""
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame exceeds {MAX_FRAME_BYTES} bytes")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"bad frame: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"message must be an object, got {type(message).__name__}")
+    return message
+
+
+__all__ = [
+    "CLIENT_OPS",
+    "JOB_SCHEMA",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "decode_message",
+    "encode_message",
+    "job_hash",
+    "make_job",
+    "normalize_job",
+    "outcome_pairs",
+    "resolve_test",
+    "run_config_from_spec",
+    "validate_result",
+]

@@ -64,6 +64,14 @@ ProgressCallback = Callable[[int, int], None]
 #: resolution, and 1e-12 s elapsed must not report 10^12 items/s)
 MIN_ELAPSED_SECONDS = 1e-9
 
+#: EMA rates (items/second) below this yield ``eta=None`` rather than
+#: an astronomically large ETA.  This is a *rate* epsilon, distinct
+#: from :data:`MIN_ELAPSED_SECONDS` (a *time* epsilon): comparing an
+#: items/sec value against a seconds threshold is a units mismatch —
+#: a stalled sweep limping at 1e-8 items/s would pass a 1e-9 check
+#: and report an ETA of three human lifetimes instead of "unknown"
+MIN_RATE = 1e-6
+
 #: smoothing factor for the telemetry rate EMA: high enough to follow a
 #: genuine speed change within a few chunks, low enough that one slow
 #: straggler chunk does not swing the ETA wildly
@@ -161,6 +169,14 @@ class SweepProgress:
 
 #: telemetry callback: one SweepProgress per completed chunk
 TelemetryCallback = Callable[[SweepProgress], None]
+
+
+def compute_eta(remaining: int, rate: float) -> Optional[float]:
+    """Seconds to completion from a smoothed rate, or ``None`` when the
+    rate is below :data:`MIN_RATE` (too small to be meaningful)."""
+    if rate < MIN_RATE:
+        return None
+    return remaining / rate
 
 
 def format_duration(seconds: Optional[float]) -> str:
@@ -418,8 +434,7 @@ def run_sweep(
                         else EMA_ALPHA * instantaneous
                         + (1.0 - EMA_ALPHA) * ema_rate)
             last_sample = (now, done)
-        eta = ((total - done) / ema_rate
-               if ema_rate >= MIN_ELAPSED_SECONDS else None)
+        eta = compute_eta(total - done, ema_rate)
         telemetry(SweepProgress(
             done=done, total=total, elapsed_seconds=now - t0,
             items_per_second=ema_rate, eta_seconds=eta,

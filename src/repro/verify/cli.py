@@ -81,6 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "per run) or batched (lockstep SoA engine; "
                              "bit-identical outcomes, much higher "
                              "throughput)")
+    parser.add_argument("--server", metavar="HOST:PORT", default=None,
+                        help="submit simulator legs to a running "
+                             "repro.serve job server instead of running "
+                             "them in-process (repeated legs answer from "
+                             "its content-addressed cache)")
     parser.add_argument("--suite", action="store_true",
                         help="check the named litmus suite instead of "
                              "fuzzing (--budget/--seed are ignored)")
@@ -152,6 +157,7 @@ def run_fuzz(budget: int, jobs: int, seed: int,
              oracle: str = "all",
              suite: bool = False,
              backend: str = "scalar",
+             server: Optional[str] = None,
              localize: bool = False,
              stats_json: Optional[str] = None,
              prometheus: Optional[str] = None,
@@ -180,6 +186,8 @@ def run_fuzz(budget: int, jobs: int, seed: int,
                                   "backend": backend}
     if fault is not None:
         options["fault"] = fault
+    if server is not None:
+        options["server"] = server
     chunk_worker = None
     if suite:
         names = sorted(STANDARD_TESTS)
@@ -191,9 +199,12 @@ def run_fuzz(budget: int, jobs: int, seed: int,
                  for i in range(budget)]
         worker = check_seed  # type: ignore[assignment]
         total = budget
-        if backend == "batched":
+        if backend == "batched" and server is None:
             # batch a whole chunk's simulator legs into one lockstep
-            # engine — per-test batches are too small to amortize
+            # engine — per-test batches are too small to amortize.
+            # With --server the batching decision is the server's
+            # (its dispatcher drains queued misses into one executor
+            # call), so legs go through the per-item worker.
             chunk_worker = check_seed_chunk
 
     meter = ProgressMeter(label="verify") if telemetry and not quiet else None
@@ -378,6 +389,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.budget < 1 and not args.suite:
         print("--budget must be >= 1", file=sys.stderr)
         return 2
+    if args.server is not None and args.fault is not None:
+        print("--fault is incompatible with --server: faults monkeypatch "
+              "this process, not the job server", file=sys.stderr)
+        return 2
     return run_fuzz(
         budget=args.budget,
         jobs=args.jobs,
@@ -391,6 +406,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         oracle=args.oracle,
         suite=args.suite,
         backend=args.backend,
+        server=args.server,
         localize=args.localize,
         stats_json=args.stats_json,
         prometheus=args.prometheus,

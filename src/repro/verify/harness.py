@@ -112,6 +112,10 @@ class HarnessConfig:
     oracle: str = "all"
     #: simulator-leg execution backend: "scalar" or "batched"
     backend: str = "scalar"
+    #: ``"host:port"`` of a running ``repro.serve`` job server; when
+    #: set, the simulator legs are submitted there (and answered from
+    #: its content-addressed cache) instead of running in-process
+    server: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -304,7 +308,10 @@ def check_test(test: LitmusTest, config: HarnessConfig = HarnessConfig(),
     reference, axiomatic = _static_oracles(test, config, out)
     if config.oracle in ("sim", "all"):
         legs = _sim_legs(config)
-        outcomes = _observed_outcomes(test, legs, config.backend)
+        if config.server is not None:
+            outcomes = _server_outcomes(test, legs, config.server)
+        else:
+            outcomes = _observed_outcomes(test, legs, config.backend)
         _classify_outcomes(test, out, legs, outcomes, reference, axiomatic)
     return out
 
@@ -317,6 +324,12 @@ def _validate(config: HarnessConfig) -> None:
     if config.backend not in BACKENDS:
         raise ConfigurationError(
             f"unknown backend {config.backend!r}; available: {BACKENDS}")
+    if config.server is not None and config.fault is not None:
+        # faults are in-process monkeypatches; a remote server never
+        # sees them, so the combination would silently test nothing
+        raise ConfigurationError(
+            "fault injection is incompatible with --server: faults "
+            "monkeypatch this process, not the job server")
 
 
 def _static_oracles(
@@ -470,6 +483,49 @@ def _legs_to_jobs(
     return jobs, audit_maps
 
 
+def _server_outcomes(
+        test: LitmusTest,
+        legs: Sequence[Tuple[str, bool, bool, RunConfig]],
+        server: str) -> List[Outcome]:
+    """Observed outcome per leg, submitted to a ``repro.serve`` server.
+
+    Each leg becomes one protocol job carrying the test inline (the
+    corpus serialization), so the server needs no shared filesystem.
+    The server's executors mirror :func:`observed_outcome`'s setup
+    exactly and determinism is pinned, so these outcomes are
+    bit-identical to in-process runs — repeated legs (the fuzzer
+    resubmitting a seed, overlapping sweeps) come back from the
+    content-addressed cache without touching a simulator.  The client
+    connection is cached per (process, endpoint): sweep worker
+    processes each dial their own.
+    """
+    from ..serve.client import parse_endpoint, shared_client
+    from .corpus import litmus_to_dict
+
+    host, port = parse_endpoint(server)
+    client = shared_client(host, port)
+    litmus = litmus_to_dict(test)
+    jobs = [{
+        "test": {"litmus": litmus},
+        "model": model_name,
+        "prefetch": prefetch,
+        "speculation": speculation,
+        "run_config": {
+            "miss_latency": run_config.miss_latency,
+            "skew": list(run_config.skew),
+            "warm_shared": run_config.warm_shared,
+            "line_size": run_config.line_size,
+            "max_cycles": run_config.max_cycles,
+        },
+    } for model_name, prefetch, speculation, run_config in legs]
+    outcomes: List[Outcome] = []
+    for result in client.submit_many(jobs):
+        if not result.ok:
+            raise RuntimeError(f"server-side leg failed: {result.error}")
+        outcomes.append(result.outcome())
+    return outcomes
+
+
 def _job_outcome(res, audit_map: Dict[str, int]) -> Outcome:
     """Read one job's final registers (raising what a scalar run would)."""
     res.raise_if_error()
@@ -504,6 +560,7 @@ def check_seed(item: Tuple[int, int, Dict[str, object]]) -> CheckResult:
         fault=options.get("fault"),  # type: ignore[arg-type]
         oracle=str(options.get("oracle", "all")),
         backend=str(options.get("backend", "scalar")),
+        server=options.get("server"),  # type: ignore[arg-type]
     )
     test = generate_litmus(seed, gen_config)
     return check_test(test, harness, index=index, seed=seed)
@@ -601,5 +658,6 @@ def check_named(item: Tuple[int, str, Dict[str, object]]) -> CheckResult:
         fault=options.get("fault"),  # type: ignore[arg-type]
         oracle=str(options.get("oracle", "all")),
         backend=str(options.get("backend", "scalar")),
+        server=options.get("server"),  # type: ignore[arg-type]
     )
     return check_test(STANDARD_TESTS[name](), harness, index=index, seed=0)

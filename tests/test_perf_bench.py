@@ -235,6 +235,32 @@ class TestHarness:
         assert work["items"] == expected
         assert work["cycles"] > 0
 
+    def test_serve_cache_pair_pinned_in_suite(self):
+        # like the fuzz pair: the serving story is the cold/warm ratio,
+        # which needs both cases over the same job mix
+        names = [case.name for case in default_suite(quick=True)]
+        assert "serve_cold_cache" in names
+        assert "serve_warm_cache" in names
+
+    def test_serve_cases_run_and_count_jobs(self):
+        from repro.obs import telemetry as tm
+        from repro.obs.perf import _case_serve_loadgen
+
+        # the case's embedded server enables global telemetry and (by
+        # design) stays up until process exit; don't leak the flag to
+        # later tests
+        prev = tm.enabled()
+        try:
+            cold = _case_serve_loadgen(count=4, clients=2, warm=False)
+            warm = _case_serve_loadgen(count=4, clients=2, warm=True)
+            assert cold()["items"] == 4
+            # a second cold run clears the store first: still 4 full runs
+            assert cold()["items"] == 4
+            assert warm()["items"] == 4
+            assert warm()["items"] == 4
+        finally:
+            tm.enable(prev)
+
     def test_load_trajectory_skips_invalid_and_excluded(self, tmp_path):
         good = write_record(_fake_record({"a": 1.0}), str(tmp_path))
         (tmp_path / "BENCH_bad.json").write_text("{not json")

@@ -1,0 +1,474 @@
+"""Simulation-as-a-service: protocol, store, server, client, loadgen.
+
+The stack's contract has three load-bearing claims, each pinned here:
+
+1. **bit-identical**: a served result equals a direct
+   ``run_workload``-based check, whatever executor runs it and whether
+   it came from the cache;
+2. **content-addressed**: identical requests hit the cache (a full
+   resubmit is 100% hits with zero simulator invocations) and the run
+   ledger's dedupe stats agree;
+3. **paranoid reads**: a poisoned store entry is detected by its
+   outcome digest, served as a miss, and healed by re-execution.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import ledger
+from repro.obs import telemetry as tm
+from repro.serve import (
+    ResultStore,
+    ServeClient,
+    ServeServer,
+    ServerThread,
+    build_job_mix,
+    job_hash,
+    make_executor,
+    make_job,
+    normalize_job,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.serve.client import parse_endpoint
+from repro.serve.protocol import (
+    ProtocolError,
+    decode_message,
+    encode_message,
+    outcome_pairs,
+)
+from repro.serve.store import STORE_SCHEMA
+from repro.verify.harness import RunConfig, observed_outcome
+
+
+@pytest.fixture
+def server(tmp_path):
+    """One live in-process server (serial executor) per test."""
+    srv = ServeServer(store=ResultStore(str(tmp_path / "store")),
+                      executor_kind="serial",
+                      ledger_path=str(tmp_path / "ledger.jsonl"))
+    handle = ServerThread(srv)
+    host, port = handle.start()
+    yield srv, host, port
+    handle.stop()
+
+
+def _client(server):
+    _, host, port = server
+    return ServeClient(host, port)
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+
+class TestProtocol:
+    def test_normalize_fills_defaults(self):
+        spec = normalize_job({"test": {"name": "SB"}})
+        assert spec["model"] == "SC"
+        assert spec["prefetch"] is False and spec["speculation"] is False
+        assert spec["run_config"]["miss_latency"] == RunConfig("x").miss_latency
+
+    def test_equivalent_jobs_hash_identically(self):
+        defaults = RunConfig("x")
+        sparse = {"test": {"name": "MP"}, "model": "WC"}
+        explicit = {"schema": "repro-serve-job/1",
+                    "test": {"name": "MP"}, "model": "WC",
+                    "prefetch": False, "speculation": False,
+                    "run_config": {"miss_latency": defaults.miss_latency,
+                                   "skew": list(defaults.skew)}}
+        assert job_hash(sparse) == job_hash(explicit)
+
+    def test_result_determining_knobs_split_the_hash(self):
+        base = {"test": {"name": "SB"}}
+        assert job_hash(base) != job_hash({**base, "model": "RC"})
+        assert job_hash(base) != job_hash({**base, "prefetch": True})
+        assert job_hash(base) != job_hash(
+            {**base, "run_config": {"miss_latency": 7}})
+
+    def test_run_config_name_never_splits_the_cache(self):
+        a = make_job(test={"name": "SB"}, run_config={"name": "warm"})
+        b = make_job(test={"name": "SB"}, run_config={"name": "cold"})
+        assert job_hash(a) == job_hash(b)
+
+    def test_inline_litmus_and_seed_specs(self):
+        from repro.consistency.litmus import STANDARD_TESTS
+        from repro.verify.corpus import litmus_to_dict
+
+        inline = normalize_job(
+            {"test": {"litmus": litmus_to_dict(STANDARD_TESTS["SB"]())}})
+        assert "litmus" in inline["test"]
+        seeded = normalize_job({"test": {"seed": 7}})
+        assert seeded["test"]["seed"] == 7
+        assert "max_cpus" in seeded["test"]["generator"]
+
+    @pytest.mark.parametrize("bad", [
+        {"test": {"name": "nope"}},
+        {"test": {"name": "SB", "seed": 1}},
+        {"test": {}},
+        {"test": {"name": "SB"}, "model": "XYZ"},
+        {"test": {"name": "SB"}, "run_config": {"typo_key": 1}},
+        {"test": {"name": "SB"}, "run_config": {"skew": []}},
+        {"test": {"name": "SB"}, "run_config": {"miss_latency": 0}},
+        {"test": {"name": "SB"}, "unknown_top": 1},
+        "not an object",
+    ])
+    def test_bad_jobs_rejected(self, bad):
+        with pytest.raises(ProtocolError):
+            normalize_job(bad)
+
+    def test_ndjson_framing_round_trips(self):
+        msg = {"op": "submit", "id": 3, "job": {"x": [1, 2]}}
+        line = encode_message(msg)
+        assert line.endswith(b"\n") and b"\n" not in line[:-1]
+        assert decode_message(line) == msg
+
+    def test_oversized_frame_rejected(self):
+        from repro.serve.protocol import MAX_FRAME_BYTES
+
+        with pytest.raises(ProtocolError):
+            decode_message(b"x" * (MAX_FRAME_BYTES + 1))
+
+    def test_parse_endpoint(self):
+        assert parse_endpoint("somehost:7719") == ("somehost", 7719)
+        assert parse_endpoint("7719") == ("127.0.0.1", 7719)
+        with pytest.raises(Exception):
+            parse_endpoint("nope")
+
+
+# ----------------------------------------------------------------------
+# Result store
+# ----------------------------------------------------------------------
+
+class TestResultStore:
+    def _sha(self, i=0):
+        return job_hash(make_job(test={"name": "SB"},
+                                 run_config={"skew": [0, i]}))
+
+    def test_miss_then_put_then_hit(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        sha = self._sha()
+        assert store.get(sha) is None
+        store.put(sha, {"r": 1}, {"outcome": [["r0", 1]], "cycles": 5})
+        assert store.get(sha) == {"outcome": [["r0", 1]], "cycles": 5}
+        assert store.describe()["hits"] == 1
+        assert store.describe()["misses"] == 1
+
+    def test_persistence_across_restarts(self, tmp_path):
+        sha = self._sha()
+        ResultStore(str(tmp_path)).put(sha, {"r": 1},
+                                       {"outcome": [], "cycles": 9})
+        # a brand-new store object over the same root: same entry
+        reopened = ResultStore(str(tmp_path))
+        assert reopened.get(sha) == {"outcome": [], "cycles": 9}
+        assert reopened.object_count() == 1
+
+    def test_poisoned_entry_detected_and_healed(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        sha = self._sha()
+        path = store.put(sha, {"r": 1}, {"outcome": [["r0", 1]], "cycles": 5})
+        entry = json.loads(open(path).read())
+        entry["result"]["cycles"] = 9999  # flip a bit; digest now stale
+        with open(path, "w") as fh:
+            json.dump(entry, fh)
+        assert store.get(sha) is None  # read as a miss, not served
+        assert store.poisoned == 1
+        # re-execution heals: the fresh put overwrites the bad entry
+        store.put(sha, {"r": 1}, {"outcome": [["r0", 1]], "cycles": 5})
+        assert store.get(sha) == {"outcome": [["r0", 1]], "cycles": 5}
+
+    def test_unparseable_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        sha = self._sha()
+        path = store.put(sha, {}, {"outcome": [], "cycles": 1})
+        with open(path, "w") as fh:
+            fh.write("{torn")
+        assert store.get(sha) is None
+        assert store.poisoned == 1
+
+    def test_validate_entry_checks(self):
+        result = {"outcome": [["r0", 1]], "cycles": 5}
+        good = {"schema": STORE_SCHEMA, "request_sha256": "ab",
+                "request": {}, "result": result,
+                "outcome_digest": ledger.digest_outcome(result)}
+        assert ResultStore.validate_entry(good, "ab") == []
+        assert ResultStore.validate_entry(good, "cd") != []  # wrong address
+        assert ResultStore.validate_entry({**good, "schema": "x"}, "ab") != []
+        assert ResultStore.validate_entry("junk", "ab") != []
+
+    def test_clear_removes_everything(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        for i in range(3):
+            store.put(self._sha(i), {}, {"outcome": [], "cycles": i})
+        assert store.clear() == 3
+        assert store.object_count() == 0
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+
+class TestExecutors:
+    def test_all_executors_agree_with_direct_run(self):
+        jobs = [normalize_job(j) for j in build_job_mix(6, seed=3)]
+        direct = []
+        for spec in jobs:
+            from repro.consistency.litmus import STANDARD_TESTS
+
+            test = STANDARD_TESTS[spec["test"]["name"]]()
+            rc = RunConfig(name="serve", **{
+                k: tuple(v) if k == "skew" else v
+                for k, v in spec["run_config"].items()})
+            direct.append(observed_outcome(
+                test, spec["model"], spec["prefetch"], spec["speculation"],
+                rc))
+        for kind in ("serial", "batched"):
+            results = make_executor(kind)(jobs, None)
+            assert [outcome_pairs(r) for r in results] == direct, kind
+
+    def test_batched_executor_contains_per_item_failures(self):
+        good = normalize_job(make_job(test={"name": "SB"}))
+        bad = dict(good)
+        bad["model"] = "NOPE"  # normalize would catch it; the executor
+        # must contain it per-item instead of sinking the batch
+        results = make_executor("batched")([good, bad, good], None)
+        assert "error" in results[1]
+        assert "error" not in results[0] and "error" not in results[2]
+        assert outcome_pairs(results[0]) == outcome_pairs(results[2])
+
+
+# ----------------------------------------------------------------------
+# Server end-to-end
+# ----------------------------------------------------------------------
+
+class TestServerEndToEnd:
+    def test_served_result_bit_identical_to_direct_run(self, server):
+        srv, _, _ = server
+        job = make_job(test={"name": "MP"}, model="WC", speculation=True)
+        with _client(server) as client:
+            served = client.submit(job)
+        spec = normalize_job(job)
+        from repro.consistency.litmus import STANDARD_TESTS
+
+        rc = RunConfig(name="serve", **{
+            k: tuple(v) if k == "skew" else v
+            for k, v in spec["run_config"].items()})
+        direct = observed_outcome(STANDARD_TESTS["MP"](), "WC", False, True,
+                                  rc)
+        assert served.outcome() == direct
+        # and a cache hit serves the very same bytes
+        with _client(server) as client:
+            again = client.submit(job)
+        assert again.cached and again.result == served.result
+
+    def test_full_resubmit_is_all_hits_with_zero_simulations(self, server):
+        srv, _, _ = server
+        jobs = build_job_mix(10, seed=5)
+        with _client(server) as client:
+            first = client.submit_many(jobs)
+            assert all(r.ok for r in first)
+            sims_after_first = tm.registry().counter_value(
+                "serve/simulations")
+            second = client.submit_many(jobs)
+        assert all(r.cached for r in second)
+        assert [r.result for r in second] == [r.result for r in first]
+        # zero simulator invocations on the resubmit
+        assert tm.registry().counter_value("serve/simulations") == \
+            sims_after_first
+        assert srv.counters["cache_hits"] >= len(jobs)
+
+    def test_two_concurrent_clients_with_overlapping_sets(self, server):
+        srv, host, port = server
+        # overlapping mixes: same seed window shifted, plus identical tail
+        jobs_a = build_job_mix(8, seed=11)
+        jobs_b = build_job_mix(8, seed=11)  # fully overlapping set
+        results = {}
+
+        def worker(name, jobs):
+            with ServeClient(host, port) as client:
+                results[name] = client.submit_many(jobs)
+
+        threads = [threading.Thread(target=worker, args=("a", jobs_a)),
+                   threading.Thread(target=worker, args=("b", jobs_b))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(r.ok for r in results["a"] + results["b"])
+        # identical requests must get identical results, whichever
+        # client ran first and whichever path (exec/cache/coalesce)
+        for ra, rb in zip(results["a"], results["b"]):
+            assert ra.request_sha256 == rb.request_sha256
+            assert ra.result == rb.result
+        # the overlap was served without re-execution: every unique
+        # request simulated at most once
+        unique = len({r.request_sha256 for r in results["a"]})
+        assert srv.counters["executed"] == unique
+        assert (srv.counters["cache_hits"] + srv.counters["coalesced"]) >= \
+            len(jobs_b)
+
+    def test_ledger_reports_server_dedupe(self, server, tmp_path):
+        srv, _, _ = server
+        jobs = build_job_mix(6, seed=9)
+        with _client(server) as client:
+            client.submit_many(jobs)
+            client.submit_many(jobs)
+        records, skipped = ledger.read_ledger(srv.ledger_path)
+        assert skipped == 0
+        stats = ledger.ledger_stats(records)
+        assert stats["records"] == 2 * len(jobs)
+        assert stats["dedupe_hits"] == len(jobs)
+        # the determinism sentinel: a cache hit must never look like a
+        # nondeterministic re-run
+        assert stats["inconsistent_hits"] == 0
+
+    def test_request_log_captures_and_replays(self, server):
+        srv, _, _ = server
+        jobs = build_job_mix(4, seed=2)
+        with _client(server) as client:
+            client.submit_many(jobs)
+        with open(srv.request_log_path) as fh:
+            logged = [json.loads(line) for line in fh]
+        assert len(logged) == 4
+        assert all("request_sha256" in entry and "job" in entry
+                   for entry in logged)
+        # replaying the log is a full resubmit: all hits
+        with _client(server) as client:
+            replayed = client.submit_many([e["job"] for e in logged])
+        assert all(r.cached for r in replayed)
+
+    def test_progress_events_stream_to_subscribers(self, server):
+        events = []
+        with _client(server) as client:
+            results = client.submit_many(build_job_mix(5, seed=4),
+                                         progress=events.append)
+        assert all(r.ok for r in results)
+        assert events, "no progress events streamed"
+        assert all(e["event"] == "progress" and e["total"] >= 1
+                   for e in events)
+
+    def test_bad_submit_gets_error_without_closing_connection(self, server):
+        with _client(server) as client:
+            bad, good = client.submit_many([
+                {"test": {"name": "definitely-not-a-test"}},
+                make_job(test={"name": "SB"})])
+            assert not bad.ok and "unknown litmus test" in \
+                str(bad.error["message"])
+            assert good.ok
+            # connection still healthy
+            assert client.ping() == "repro-serve/1"
+
+    def test_stats_and_metrics_ops(self, server):
+        with _client(server) as client:
+            client.submit(make_job(test={"name": "SB"}))
+            stats = client.stats()
+            assert stats["counters"]["requests"] == 1
+            assert stats["store"]["objects"] == 1
+            prom = client.metrics()
+        # the process registry is cumulative across servers, so assert
+        # presence, not an exact count (stats() above is per-server)
+        assert "repro_serve_requests_total" in prom
+        assert "repro_serve_cache_misses_total" in prom
+
+    def test_server_restart_serves_from_persisted_store(self, tmp_path):
+        job = make_job(test={"name": "LB"}, model="PC")
+        store_root = str(tmp_path / "store")
+
+        def one_server_pass():
+            srv = ServeServer(store=ResultStore(store_root), ledger=False)
+            handle = ServerThread(srv)
+            host, port = handle.start()
+            try:
+                with ServeClient(host, port) as client:
+                    return client.submit(job), srv.counters["executed"]
+            finally:
+                handle.stop()
+
+        first, executed_first = one_server_pass()
+        second, executed_second = one_server_pass()
+        assert executed_first == 1 and executed_second == 0
+        assert second.cached and second.result == first.result
+
+
+# ----------------------------------------------------------------------
+# verify --server
+# ----------------------------------------------------------------------
+
+class TestVerifyThroughServer:
+    def test_suite_leg_checks_pass_through_server(self, server):
+        from repro.verify.harness import HarnessConfig, check_test
+        from repro.consistency.litmus import STANDARD_TESTS
+
+        _, host, port = server
+        config = HarnessConfig(models=("SC", "WC"),
+                               techniques=((False, False), (True, True)),
+                               server=f"{host}:{port}")
+        result = check_test(STANDARD_TESTS["SB"](), config)
+        assert result.ok
+        assert result.num_runs == 2 * 2 * len(config.run_configs)
+
+    def test_fault_with_server_rejected(self, server):
+        from repro.sim.errors import ConfigurationError
+        from repro.verify.harness import HarnessConfig, check_test
+        from repro.consistency.litmus import STANDARD_TESTS
+
+        _, host, port = server
+        config = HarnessConfig(server=f"{host}:{port}", fault="slb-deaf")
+        with pytest.raises(ConfigurationError):
+            check_test(STANDARD_TESTS["SB"](), config)
+
+
+# ----------------------------------------------------------------------
+# Load generator
+# ----------------------------------------------------------------------
+
+class TestLoadgen:
+    def test_job_mix_is_deterministic(self):
+        assert build_job_mix(10, seed=1) == build_job_mix(10, seed=1)
+        assert build_job_mix(10, seed=1) != build_job_mix(10, seed=2)
+
+    def test_unique_mix_has_distinct_cache_keys(self):
+        shas = [job_hash(j) for j in build_job_mix(40, seed=0, unique=True)]
+        assert len(set(shas)) == 40
+
+    def test_percentile(self):
+        from repro.serve.loadgen import percentile
+
+        assert percentile([5.0], 50) == 5.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+        assert percentile([1.0, 2.0, 3.0, 4.0], 100) == 4.0
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_closed_loop_reports(self, server):
+        _, host, port = server
+        report = run_closed_loop(host, port, build_job_mix(8, seed=6),
+                                 clients=2)
+        assert report.completed == 8 and report.errors == 0
+        pcts = report.latency_percentiles()
+        assert 0 < pcts["p50"] <= pcts["p90"] <= pcts["p99"] <= pcts["max"]
+        assert report.to_dict()["mode"] == "closed"
+
+    def test_open_loop_reports(self, server):
+        _, host, port = server
+        report = run_open_loop(host, port, build_job_mix(6, seed=6),
+                               rate=500.0)
+        assert report.completed == 6 and report.errors == 0
+        assert report.latencies and report.to_dict()["mode"] == "open"
+
+    def test_warm_cache_p50_at_least_10x_below_cold(self, server):
+        # the acceptance bar for the whole serving stack: answering
+        # from the content-addressed store must be an order of
+        # magnitude faster than simulating
+        srv, host, port = server
+        jobs = build_job_mix(12, seed=8)
+        cold = run_closed_loop(host, port, jobs, clients=1)
+        warm = run_closed_loop(host, port, jobs, clients=1)
+        assert warm.cache_hits == len(jobs)
+        cold_p50 = cold.latency_percentiles()["p50"]
+        warm_p50 = warm.latency_percentiles()["p50"]
+        assert warm_p50 * 10 <= cold_p50, (
+            f"warm p50 {warm_p50:.6f}s not 10x below cold p50 "
+            f"{cold_p50:.6f}s")

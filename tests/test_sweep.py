@@ -166,6 +166,24 @@ class TestRateGuards:
         assert format_duration(83) == "1m23s"
         assert format_duration(3 * 3600 + 5 * 60) == "3h05m"
 
+    def test_compute_eta_near_zero_rate_is_unknown(self):
+        from repro.sim.sweep import MIN_ELAPSED_SECONDS, MIN_RATE, compute_eta
+
+        # the old guard compared a rate (items/s) against a *time*
+        # epsilon (1e-9 s): an EMA rate of 1e-8 items/s slipped through
+        # and produced a billions-of-seconds ETA
+        assert compute_eta(10, 0.0) is None
+        assert compute_eta(10, 1e-8) is None
+        assert compute_eta(10, MIN_RATE / 2) is None
+        # the dedicated rate epsilon is far above the time epsilon
+        assert MIN_RATE > MIN_ELAPSED_SECONDS
+
+    def test_compute_eta_normal_rate(self):
+        from repro.sim.sweep import compute_eta
+
+        assert compute_eta(10, 2.0) == pytest.approx(5.0)
+        assert compute_eta(0, 2.0) == pytest.approx(0.0)
+
 
 class TestTelemetry:
     def test_samples_cover_run_and_carry_eta(self):
